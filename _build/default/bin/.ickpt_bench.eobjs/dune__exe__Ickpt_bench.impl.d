@@ -1,0 +1,1 @@
+bin/ickpt_bench.ml: Arg Cmd Cmdliner Format Ickpt_experiments List Micro Printf Registry Term Workload

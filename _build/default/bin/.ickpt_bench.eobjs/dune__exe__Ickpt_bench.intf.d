@@ -1,0 +1,1 @@
+bin/ickpt_bench.mli:

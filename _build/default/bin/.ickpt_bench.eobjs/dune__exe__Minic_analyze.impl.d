@@ -1,0 +1,1 @@
+bin/minic_analyze.ml: Arg Attrs Cmd Cmdliner Deadcode Engine Format Fun Ickpt_analysis Ickpt_core List Minic Printf Report Term

@@ -1,0 +1,65 @@
+(* Command-line front end over the experiment registry: run any subset of
+   the paper's tables/figures at any scale, list them, or run the Bechamel
+   micro-benchmarks. *)
+
+open Cmdliner
+open Ickpt_experiments
+
+let scale_arg =
+  let doc =
+    "Synthetic population as a fraction of the paper's 20,000 structures."
+  in
+  Arg.(value & opt float 0.1 & info [ "scale" ] ~docv:"FACTOR" ~doc)
+
+let paper_arg =
+  let doc = "Run at full paper scale (equivalent to --scale 1)." in
+  Arg.(value & flag & info [ "paper" ] ~doc)
+
+let names_arg =
+  let doc = "Experiments to run (default: all)." in
+  Arg.(value & pos_all string [] & info [] ~docv:"NAME" ~doc)
+
+let effective_scale scale paper = if paper then 1.0 else scale
+
+let run_cmd =
+  let run scale paper names =
+    let scale = effective_scale scale paper in
+    let ppf = Format.std_formatter in
+    let names = match names with [] -> None | l -> Some l in
+    let results = Registry.run_all ?names ~scale ppf in
+    let failed =
+      List.concat_map
+        (fun (_, checks) -> List.filter (fun c -> not c.Workload.ok) checks)
+        results
+    in
+    if failed = [] then `Ok ()
+    else begin
+      Format.fprintf ppf "@.%d shape check(s) failed@." (List.length failed);
+      `Ok ()
+    end
+  in
+  let doc = "run evaluation experiments (tables and figures)" in
+  Cmd.v
+    (Cmd.info "run" ~doc)
+    Term.(ret (const run $ scale_arg $ paper_arg $ names_arg))
+
+let list_cmd =
+  let list () =
+    List.iter
+      (fun e -> Printf.printf "%-8s %s\n" e.Registry.name e.Registry.title)
+      Registry.all
+  in
+  let doc = "list available experiments" in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const list $ const ())
+
+let micro_cmd =
+  let micro () = Micro.run Format.std_formatter in
+  let doc = "run the Bechamel micro-benchmarks" in
+  Cmd.v (Cmd.info "micro" ~doc) Term.(const micro $ const ())
+
+let () =
+  let doc =
+    "benchmark harness for the incremental-checkpointing reproduction"
+  in
+  let info = Cmd.info "ickpt_bench" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ run_cmd; list_cmd; micro_cmd ]))

@@ -1,0 +1,1 @@
+examples/analysis_checkpoint.ml: Attrs Bta_phase Decls Engine Format Ickpt_analysis Jspec List Minic Sea String

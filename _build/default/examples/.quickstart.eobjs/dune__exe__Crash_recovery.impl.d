@@ -1,0 +1,1 @@
+examples/crash_recovery.ml: Array Attrs Bta_phase Chain Filename Format Ickpt_analysis Ickpt_core Ickpt_runtime List Minic Sea Storage String Sys

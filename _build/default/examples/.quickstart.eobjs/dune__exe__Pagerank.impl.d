@@ -1,0 +1,1 @@
+examples/pagerank.ml: Array Barrier Filename Format Hashtbl Heap Ickpt_core Ickpt_harness Ickpt_runtime Jspec List Manager Model Policy Random Schema Segment Sys

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Barrier Chain Checkpointer Compile Deep_eq Filename Format Heap Ickpt_core Ickpt_runtime Ickpt_stream Java_pp Jspec Pe Schema Sclass Segment Storage Sys

@@ -1,0 +1,1 @@
+examples/synthetic_tour.ml: Backend Clock Format Ickpt_backend Ickpt_core Ickpt_harness Ickpt_stream Ickpt_synth Jspec List Synth Table

@@ -1,0 +1,100 @@
+(* A tour of the paper's synthetic application (Section 5) at reduced
+   scale: build compound structures, drive modification rounds under
+   different constraints, and compare full / incremental / specialized
+   checkpointing on each execution backend.
+
+   Run with: dune exec examples/synthetic_tour.exe *)
+
+open Ickpt_synth
+open Ickpt_backend
+open Ickpt_harness
+
+let time_checkpoint roots runner =
+  let d = Ickpt_stream.Out_stream.create () in
+  let (), s = Clock.time (fun () -> List.iter (fun r -> runner d r) roots) in
+  (Ickpt_stream.Out_stream.size d, s)
+
+let () =
+  let config =
+    { Synth.default_config with
+      Synth.n_structures = 2_000;
+      list_len = 5;
+      n_int_fields = 10;
+      pct_modified = 25;
+      modified_lists = 1;
+      last_only = true }
+  in
+  Format.printf "workload: %a@.@." Synth.pp_config config;
+
+  let t = Synth.build config in
+  let roots = Synth.roots t in
+  Synth.base_checkpoint t;
+  let dirtied = Synth.mutate_round t in
+  Format.printf "mutation round dirtied %d of %d elements@.@." dirtied
+    (Synth.element_count t);
+
+  (* Full vs incremental (cf. paper Fig. 7). *)
+  let full_bytes, full_s =
+    time_checkpoint roots (fun d r -> Ickpt_core.Checkpointer.full d r)
+  in
+  (* Rebuild to restore flags (full reset them), replay the same round. *)
+  let t = Synth.build config in
+  let roots = Synth.roots t in
+  Synth.base_checkpoint t;
+  ignore (Synth.mutate_round t);
+  let incr_bytes, incr_s =
+    time_checkpoint roots (fun d r -> Ickpt_core.Checkpointer.incremental d r)
+  in
+  Format.printf "full checkpoint:        %8s in %s@."
+    (Table.cell_bytes full_bytes) (Table.cell_seconds full_s);
+  Format.printf "incremental checkpoint: %8s in %s (speedup %s)@.@."
+    (Table.cell_bytes incr_bytes) (Table.cell_seconds incr_s)
+    (Table.cell_speedup (full_s /. incr_s));
+
+  (* The three levels of specialization (cf. paper Figs. 8-10). The
+     baseline, as in the paper, is the *generic* incremental algorithm in
+     the same execution environment (the compiled/"Harissa" backend). *)
+  let t = Synth.build config in
+  let roots = Synth.roots t in
+  Synth.base_checkpoint t;
+  ignore (Synth.mutate_round t);
+  let _, generic_s =
+    time_checkpoint roots (fun d r -> Backend.native.Backend.run_generic d r)
+  in
+  Format.printf "unspecialized incremental (native backend): %s@.@."
+    (Table.cell_seconds generic_s);
+  let levels =
+    [ ("structure only (Fig 8)", Synth.shape_structure t);
+      ("+ modifiable lists (Fig 9)", Synth.shape_modified_lists t);
+      ("+ last-only positions (Fig 10)", Synth.shape_last_only t) ]
+  in
+  List.iter
+    (fun (label, shape) ->
+      let plan = Jspec.Pe.specialize shape in
+      let runner = Jspec.Compile.residual plan in
+      let t = Synth.build config in
+      let roots = Synth.roots t in
+      Synth.base_checkpoint t;
+      ignore (Synth.mutate_round t);
+      let bytes, s = time_checkpoint roots runner in
+      assert (bytes = incr_bytes);
+      Format.printf
+        "%-32s residual %4d stmts, %8s in %9s (speedup over generic %s)@."
+        label
+        (Jspec.Cklang.stmt_count plan.Jspec.Pe.body)
+        (Table.cell_bytes bytes) (Table.cell_seconds s)
+        (Table.cell_speedup (generic_s /. s)))
+    levels;
+
+  (* Execution environments (cf. paper Table 2 / Fig 11). *)
+  Format.printf "@.generic incremental checkpointing across backends:@.";
+  List.iter
+    (fun b ->
+      let t = Synth.build config in
+      let roots = Synth.roots t in
+      Synth.base_checkpoint t;
+      ignore (Synth.mutate_round t);
+      let _, s = time_checkpoint roots (fun d r -> b.Backend.run_generic d r) in
+      Format.printf "  %-13s (%s): %s@." b.Backend.name b.Backend.description
+        (Table.cell_seconds s))
+    Backend.all

@@ -1,0 +1,1 @@
+lib/analysis/attrs.ml: Array Barrier Heap Ickpt_runtime Jspec List Model Schema

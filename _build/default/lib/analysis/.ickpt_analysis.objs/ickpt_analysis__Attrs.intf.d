@@ -1,0 +1,1 @@
+lib/analysis/attrs.mli: Heap Ickpt_runtime Jspec Model Schema

@@ -1,0 +1,1 @@
+lib/analysis/bta_phase.ml: Attrs Hashtbl List Minic

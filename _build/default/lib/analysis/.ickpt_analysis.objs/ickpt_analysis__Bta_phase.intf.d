@@ -1,0 +1,1 @@
+lib/analysis/bta_phase.mli: Attrs Minic

@@ -1,0 +1,1 @@
+lib/analysis/deadcode.ml: List Minic Sea

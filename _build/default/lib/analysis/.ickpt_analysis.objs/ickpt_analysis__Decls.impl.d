@@ -1,0 +1,1 @@
+lib/analysis/decls.ml: Attrs Barrier Ickpt_runtime Int Jspec Model Set

@@ -1,0 +1,1 @@
+lib/analysis/decls.mli: Attrs Jspec Set

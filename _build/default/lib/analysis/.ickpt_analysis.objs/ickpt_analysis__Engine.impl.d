@@ -1,0 +1,1 @@
+lib/analysis/engine.ml: Array Attrs Bta_phase Chain Checkpointer Clock Eta_phase Float Format Ickpt_core Ickpt_harness Ickpt_runtime Ickpt_stream Jspec List Minic Model Option Sea Segment String

@@ -1,0 +1,1 @@
+lib/analysis/engine.mli: Attrs Chain Format Ickpt_core Minic

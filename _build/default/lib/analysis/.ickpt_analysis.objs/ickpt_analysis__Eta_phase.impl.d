@@ -1,0 +1,1 @@
+lib/analysis/eta_phase.ml: Attrs Hashtbl List Minic

@@ -1,0 +1,1 @@
+lib/analysis/eta_phase.mli: Attrs Minic

@@ -1,0 +1,1 @@
+lib/analysis/report.ml: Attrs Hashtbl Ickpt_harness List Minic Sea Table

@@ -1,0 +1,1 @@
+lib/analysis/sea.ml: Attrs Hashtbl Int List Minic Set

@@ -1,0 +1,1 @@
+lib/analysis/sea.mli: Attrs Minic Set

@@ -1,0 +1,142 @@
+open Ickpt_runtime
+
+type t = {
+  schema : Schema.t;
+  heap : Heap.t;
+  k_attr : Model.klass;
+  k_se : Model.klass;
+  k_varref : Model.klass;
+  k_btentry : Model.klass;
+  k_bt : Model.klass;
+  k_etentry : Model.klass;
+  k_et : Model.klass;
+  attrs : Model.obj array;
+}
+
+let bt_unknown = 0
+let bt_static = 1
+let bt_dynamic = 2
+let et_unknown = 0
+let et_spec_time = 1
+let et_run_time = 2
+
+(* Child slots *)
+let slot_se = 0
+let slot_bt = 1
+let slot_et = 2
+let slot_reads = 0
+let slot_writes = 1
+
+let create ~n_stmts =
+  let schema = Schema.create () in
+  let k_attr = Schema.declare schema ~name:"Attributes" ~ints:0 ~children:3 () in
+  let k_se = Schema.declare schema ~name:"SEEntry" ~ints:0 ~children:2 () in
+  let k_varref = Schema.declare schema ~name:"VarRef" ~ints:1 ~children:1 () in
+  let k_btentry = Schema.declare schema ~name:"BTEntry" ~ints:0 ~children:1 () in
+  let k_bt = Schema.declare schema ~name:"BT" ~ints:1 ~children:0 () in
+  let k_etentry = Schema.declare schema ~name:"ETEntry" ~ints:0 ~children:1 () in
+  let k_et = Schema.declare schema ~name:"ET" ~ints:1 ~children:0 () in
+  let heap = Heap.create schema in
+  let attrs =
+    Array.init n_stmts (fun _ ->
+        let attr = Heap.alloc heap k_attr in
+        let se = Heap.alloc heap k_se in
+        let btentry = Heap.alloc heap k_btentry in
+        let bt = Heap.alloc heap k_bt in
+        let etentry = Heap.alloc heap k_etentry in
+        let et = Heap.alloc heap k_et in
+        bt.Model.ints.(0) <- bt_unknown;
+        et.Model.ints.(0) <- et_unknown;
+        attr.Model.children.(slot_se) <- Some se;
+        attr.Model.children.(slot_bt) <- Some btentry;
+        attr.Model.children.(slot_et) <- Some etentry;
+        btentry.Model.children.(0) <- Some bt;
+        etentry.Model.children.(0) <- Some et;
+        attr)
+  in
+  { schema; heap; k_attr; k_se; k_varref; k_btentry; k_bt; k_etentry; k_et;
+    attrs }
+
+let heap t = t.heap
+let schema t = t.schema
+let n_stmts t = Array.length t.attrs
+let roots t = Array.to_list t.attrs
+
+let attr t sid = t.attrs.(sid)
+
+let child_exn o slot =
+  match o.Model.children.(slot) with
+  | Some c -> c
+  | None -> invalid_arg "Attrs: missing child"
+
+let se_entry t sid = child_exn t.attrs.(sid) slot_se
+let bt_obj t sid = child_exn (child_exn t.attrs.(sid) slot_bt) 0
+let et_obj t sid = child_exn (child_exn t.attrs.(sid) slot_et) 0
+
+let chain_to_list head =
+  let rec go acc = function
+    | None -> List.rev acc
+    | Some o -> go (o.Model.ints.(0) :: acc) o.Model.children.(0)
+  in
+  go [] head
+
+(* Replace a VarRef chain when the new value list differs. The chain is
+   rebuilt from fresh objects; their [modified] flags start set, so they
+   appear in the next incremental checkpoint along with the re-pointed
+   SEEntry. *)
+let set_chain t sid slot values =
+  let se = se_entry t sid in
+  if chain_to_list se.Model.children.(slot) = values then false
+  else begin
+    let rec build = function
+      | [] -> None
+      | v :: rest ->
+          let node = Heap.alloc t.heap t.k_varref in
+          node.Model.ints.(0) <- v;
+          node.Model.children.(0) <- build rest;
+          Some node
+    in
+    Barrier.set_child se slot (build values);
+    true
+  end
+
+let set_reads t sid values = set_chain t sid slot_reads values
+let get_reads t sid = chain_to_list (se_entry t sid).Model.children.(slot_reads)
+let set_writes t sid values = set_chain t sid slot_writes values
+let get_writes t sid = chain_to_list (se_entry t sid).Model.children.(slot_writes)
+
+let set_bt t sid v = Barrier.set_int_if_changed (bt_obj t sid) 0 v
+let get_bt t sid = (bt_obj t sid).Model.ints.(0)
+let set_et t sid v = Barrier.set_int_if_changed (et_obj t sid) 0 v
+let get_et t sid = (et_obj t sid).Model.ints.(0)
+
+(* Specialization classes. The attribute tree's static spine is shared by
+   all three; phases differ only in which leaves are Tracked. *)
+let attr_shape t ~attr_st ~se_st ~lists ~btentry_st ~bt_st ~etentry_st ~et_st =
+  let open Jspec.Sclass in
+  shape ~status:attr_st t.k_attr
+    [| Exact (shape ~status:se_st t.k_se [| lists; lists |]);
+       Exact
+         (shape ~status:btentry_st t.k_btentry
+            [| Exact (leaf ~status:bt_st t.k_bt) |]);
+       Exact
+         (shape ~status:etentry_st t.k_etentry
+            [| Exact (leaf ~status:et_st t.k_et) |]) |]
+
+let sea_shape t =
+  let open Jspec.Sclass in
+  attr_shape t ~attr_st:Clean ~se_st:Tracked ~lists:Unknown ~btentry_st:Clean
+    ~bt_st:Clean ~etentry_st:Clean ~et_st:Clean
+
+let bta_shape t =
+  let open Jspec.Sclass in
+  attr_shape t ~attr_st:Clean ~se_st:Clean ~lists:Clean_opaque
+    ~btentry_st:Clean ~bt_st:Tracked ~etentry_st:Clean ~et_st:Clean
+
+let eta_shape t =
+  let open Jspec.Sclass in
+  attr_shape t ~attr_st:Clean ~se_st:Clean ~lists:Clean_opaque
+    ~btentry_st:Clean ~bt_st:Clean ~etentry_st:Clean ~et_st:Tracked
+
+let klasses t =
+  [ t.k_attr; t.k_se; t.k_varref; t.k_btentry; t.k_bt; t.k_etentry; t.k_et ]

@@ -1,0 +1,138 @@
+open Minic.Ast
+
+let s_ = Attrs.bt_static
+let d_ = Attrs.bt_dynamic
+
+let join a b = max a b
+
+(* Mutable monotone state: every update can only raise a value (static ->
+   dynamic), so chaotic iteration converges. *)
+type state = {
+  var_bt : (string * string, int) Hashtbl.t;  (* (fname|"", var) -> bt *)
+  fun_ctx : (string, int) Hashtbl.t;  (* call-context bt per function *)
+  fun_ret : (string, int) Hashtbl.t;
+  mutable changed : bool;
+}
+
+let lookup tbl key default =
+  match Hashtbl.find_opt tbl key with Some v -> v | None -> default
+
+let raise_to st tbl key v =
+  let old = lookup tbl key s_ in
+  let v' = join old v in
+  if v' <> old then begin
+    Hashtbl.replace tbl key v';
+    st.changed <- true
+  end
+
+let init ~division (env : Minic.Check.env) =
+  let st =
+    { var_bt = Hashtbl.create 64;
+      fun_ctx = Hashtbl.create 16;
+      fun_ret = Hashtbl.create 16;
+      changed = false }
+  in
+  List.iter
+    (fun g ->
+      let bt = if List.mem g.v_name division then s_ else d_ in
+      Hashtbl.replace st.var_bt ("", g.v_name) bt)
+    env.Minic.Check.program.globals;
+  st
+
+let var_key (env : Minic.Check.env) fname x =
+  (* Locals shadow globals; a name not local to [fname] is global. *)
+  let f =
+    List.find (fun f -> f.f_name = fname) env.Minic.Check.program.funcs
+  in
+  let is_local =
+    List.mem x f.f_params || List.exists (fun l -> l.v_name = x) f.f_locals
+  in
+  if is_local then (fname, x) else ("", x)
+
+let round ~(env : Minic.Check.env) st ~annotate =
+  let p = env.Minic.Check.program in
+  let var_bt fname x = lookup st.var_bt (var_key env fname x) s_ in
+  let rec expr_bt fname ctx e =
+    match e with
+    | E_int _ -> s_
+    | E_var x -> var_bt fname x
+    | E_index (a, i) -> join (var_bt fname a) (expr_bt fname ctx i)
+    | E_unop (_, e) -> expr_bt fname ctx e
+    | E_binop (_, l, r) -> join (expr_bt fname ctx l) (expr_bt fname ctx r)
+    | E_call (g, args) ->
+        let callee = match Minic.Ast.find_func p g with
+          | Some f -> f
+          | None -> invalid_arg ("Bta: call to unknown " ^ g)
+        in
+        List.iteri
+          (fun i a ->
+            let abt = expr_bt fname ctx a in
+            match List.nth_opt callee.f_params i with
+            | Some param -> raise_to st st.var_bt (g, param) (join abt ctx)
+            | None -> ())
+          args;
+        raise_to st st.fun_ctx g ctx;
+        lookup st.fun_ret g s_
+  in
+  let rec stmt fname ctx s =
+    let bt =
+      match s.node with
+      | S_assign (x, e) ->
+          let bt = join ctx (expr_bt fname ctx e) in
+          raise_to st st.var_bt (var_key env fname x) bt;
+          bt
+      | S_store (a, i, e) ->
+          let bt =
+            join ctx (join (expr_bt fname ctx i) (expr_bt fname ctx e))
+          in
+          raise_to st st.var_bt (var_key env fname a) bt;
+          bt
+      | S_expr e -> join ctx (expr_bt fname ctx e)
+      | S_return None -> ctx
+      | S_return (Some e) ->
+          let bt = join ctx (expr_bt fname ctx e) in
+          raise_to st st.fun_ret fname bt;
+          bt
+      | S_if (c, t, f) ->
+          let cbt = join ctx (expr_bt fname ctx c) in
+          List.iter (stmt fname cbt) t;
+          List.iter (stmt fname cbt) f;
+          cbt
+      | S_while (c, b) ->
+          let cbt = join ctx (expr_bt fname ctx c) in
+          List.iter (stmt fname cbt) b;
+          cbt
+    in
+    annotate s.sid bt
+  in
+  List.iter
+    (fun f ->
+      let ctx = lookup st.fun_ctx f.f_name s_ in
+      List.iter (stmt f.f_name ctx) f.f_body)
+    p.funcs
+
+let run ?(on_iteration = fun _ -> ()) ?(min_iterations = 1) ~division env attrs
+    =
+  let st = init ~division env in
+  let rec go i =
+    st.changed <- false;
+    let stored_changed = ref false in
+    round ~env st ~annotate:(fun sid bt ->
+        if Attrs.set_bt attrs sid bt then stored_changed := true);
+    on_iteration i;
+    if st.changed || !stored_changed || i + 1 < min_iterations then go (i + 1)
+    else i + 1
+  in
+  go 0
+
+let annotate ~division env =
+  let st = init ~division env in
+  let result = Hashtbl.create 64 in
+  let rec go () =
+    st.changed <- false;
+    round ~env st ~annotate:(Hashtbl.replace result);
+    if st.changed then go ()
+  in
+  go ();
+  Hashtbl.fold (fun sid bt acc -> (sid, bt) :: acc) result []
+  |> List.sort compare

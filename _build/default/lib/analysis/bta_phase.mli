@@ -1,0 +1,19 @@
+(** Binding-time analysis (paper Sections 3–4): given a division of the
+    globals into specialization-time (static) and run-time (dynamic)
+    inputs, annotate every statement with whether a specializer could
+    reduce it. The analysis is a monotone whole-program fixpoint: variables
+    only move static → dynamic; assignments under dynamic control make
+    their targets dynamic; function parameters join over call sites.
+
+    Each whole-program round stores the current annotation of every
+    statement into {!Attrs} (only changed values dirty objects) and invokes
+    [on_iteration] — the engine's checkpoint hook. *)
+
+val run :
+  ?on_iteration:(int -> unit) -> ?min_iterations:int ->
+  division:string list -> Minic.Check.env -> Attrs.t -> int
+(** [division] lists the static globals. Returns the iteration count. *)
+
+val annotate : division:string list -> Minic.Check.env -> (int * int) list
+(** Converged [(sid, bt)] pairs without touching an [Attrs] store, for
+    tests. Values are {!Attrs.bt_static} / {!Attrs.bt_dynamic}. *)

@@ -1,0 +1,91 @@
+open Minic.Ast
+
+module Int_set = Sea.Int_set
+
+(* Liveness over main's top-level sequence, computed backwards under the
+   converged side-effect summaries. A global is live at a program point if
+   some later statement (or the return expression) may read it. Kills are
+   ignored (liveness only grows), which is conservative in the right
+   direction for removal. *)
+let analyze (env : Minic.Check.env) =
+  let summaries = Sea.summaries env in
+  let summary_of f = List.assoc f summaries in
+  let gid_set x =
+    match Minic.Check.global_id env x with
+    | Some id -> Int_set.singleton id
+    | None -> Int_set.empty
+  in
+  let rec expr_reads e =
+    match e with
+    | E_int _ -> Int_set.empty
+    | E_var x -> gid_set x
+    | E_index (a, i) -> Int_set.union (gid_set a) (expr_reads i)
+    | E_unop (_, e) -> expr_reads e
+    | E_binop (_, l, r) -> Int_set.union (expr_reads l) (expr_reads r)
+    | E_call (f, args) ->
+        List.fold_left
+          (fun acc a -> Int_set.union acc (expr_reads a))
+          (summary_of f).Sea.reads args
+  in
+  (* Everything a statement could read, or write to an array it also keeps
+     live (stores keep their own array live: partial updates). *)
+  let rec stmt_touches s =
+    match s.node with
+    | S_assign (_, e) | S_expr e | S_return (Some e) -> expr_reads e
+    | S_return None -> Int_set.empty
+    | S_store (a, i, e) ->
+        Int_set.union (gid_set a)
+          (Int_set.union (expr_reads i) (expr_reads e))
+    | S_if (c, t, f) ->
+        List.fold_left
+          (fun acc s -> Int_set.union acc (stmt_touches s))
+          (expr_reads c) (t @ f)
+    | S_while (c, b) ->
+        List.fold_left
+          (fun acc s -> Int_set.union acc (stmt_touches s))
+          (expr_reads c) b
+  in
+  let main =
+    match Minic.Ast.find_func env.Minic.Check.program "main" with
+    | Some f -> f
+    | None -> invalid_arg "Deadcode: no main"
+  in
+  (* Backwards over main's top-level statements. Only plain top-level call
+     statements are removal candidates; everything else keeps what it
+     touches live. *)
+  let dead = ref [] in
+  let live = ref Int_set.empty in
+  List.iter
+    (fun s ->
+      match s.node with
+      | S_expr (E_call (f, args)) ->
+          let summ = summary_of f in
+          if Int_set.inter summ.Sea.writes !live = Int_set.empty then
+            dead := s.sid :: !dead
+          else
+            live :=
+              List.fold_left
+                (fun acc a -> Int_set.union acc (expr_reads a))
+                (Int_set.union !live summ.Sea.reads)
+                args
+      | S_assign _ | S_expr _ | S_store _ | S_return _ | S_if _ | S_while _ ->
+          live := Int_set.union !live (stmt_touches s))
+    (List.rev main.f_body);
+  !dead
+
+let dead_statements env = analyze env
+
+let eliminate env =
+  let dead = analyze env in
+  let p = env.Minic.Check.program in
+  let funcs =
+    List.map
+      (fun f ->
+        if f.f_name <> "main" then f
+        else
+          { f with
+            f_body = List.filter (fun s -> not (List.mem s.sid dead)) f.f_body
+          })
+      p.funcs
+  in
+  (Minic.Ast.number { p with funcs }, List.length dead)

@@ -1,0 +1,23 @@
+(** A consumer of the side-effect analysis: dead-store elimination over the
+    analyzed program's top-level pipeline.
+
+    The analyses the engine checkpoints exist to drive program
+    transformation (in Tempo, specialization). This pass closes that loop
+    for the reproduction: using the per-statement global read/write sets,
+    it removes top-level call statements in [main] whose only effect is to
+    write globals that nothing afterwards reads (and that don't feed
+    [main]'s return value). On the generated image workload it discovers,
+    for instance, that the histogram pass is dead.
+
+    Conservative and sound: only statements of the form [f(...);] at the
+    top level of [main], with no live writes, are candidates; liveness only
+    grows (no kills), so control flow inside callees cannot be
+    mis-modelled. Removal preserves {!Minic.Interp.run}'s result (this is
+    property-tested). *)
+
+val eliminate : Minic.Check.env -> Minic.Ast.program * int
+(** Returns the transformed program and the number of statements removed.
+    The result is renumbered ({!Minic.Ast.number}). *)
+
+val dead_statements : Minic.Check.env -> int list
+(** The sids that {!eliminate} would remove (before renumbering). *)

@@ -1,0 +1,37 @@
+open Ickpt_runtime
+
+module Int_set = Set.Make (Int)
+
+let observe thunk =
+  let dirty = ref Int_set.empty in
+  let result =
+    Barrier.with_trace
+      (fun o -> dirty := Int_set.add o.Model.klass.Model.kid !dirty)
+      thunk
+  in
+  (result, !dirty)
+
+let shape_of_dirty attrs ~dirty_kids =
+  let open Jspec.Sclass in
+  let status_of (k : Model.klass) =
+    if Int_set.mem k.Model.kid dirty_kids then Tracked else Clean
+  in
+  match Attrs.klasses attrs with
+  | [ k_attr; k_se; k_varref; k_btentry; k_bt; k_etentry; k_et ] ->
+      let lists =
+        if Int_set.mem k_varref.Model.kid dirty_kids then Unknown
+        else Clean_opaque
+      in
+      shape ~status:(status_of k_attr) k_attr
+        [| Exact (shape ~status:(status_of k_se) k_se [| lists; lists |]);
+           Exact
+             (shape ~status:(status_of k_btentry) k_btentry
+                [| Exact (leaf ~status:(status_of k_bt) k_bt) |]);
+           Exact
+             (shape ~status:(status_of k_etentry) k_etentry
+                [| Exact (leaf ~status:(status_of k_et) k_et) |]) |]
+  | _ -> invalid_arg "Decls.shape_of_dirty: unexpected klass list"
+
+let infer attrs thunk =
+  let result, dirty_kids = observe thunk in
+  (result, shape_of_dirty attrs ~dirty_kids)

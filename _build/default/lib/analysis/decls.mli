@@ -1,0 +1,27 @@
+(** Automatic construction of specialization classes from observed
+    modification patterns — the paper's stated future work ("we propose to
+    automatically construct specialization classes based on an analysis of
+    the data modification pattern of the program", Section 7).
+
+    {!infer} runs one phase (or any code) under the write-barrier trace
+    hook, records which classes were dirtied, and derives the attribute
+    shape in which only those classes are [Tracked]. The result can be
+    handed to {!Jspec.Pe.specialize} directly, and {!Jspec.Guard} can
+    enforce it. *)
+
+module Int_set : Set.S with type elt = int
+
+val observe : (unit -> 'a) -> 'a * Int_set.t
+(** Run a thunk under the barrier trace; returns the set of class ids of
+    the objects dirtied by it. *)
+
+val shape_of_dirty : Attrs.t -> dirty_kids:Int_set.t -> Jspec.Sclass.shape
+(** The attribute shape in which a node is [Tracked] iff its class was
+    observed dirty; side-effect lists become [Unknown] when [VarRef]
+    objects were dirtied (their shape varies) and [Clean_opaque]
+    otherwise. *)
+
+val infer : Attrs.t -> (unit -> 'a) -> 'a * Jspec.Sclass.shape
+(** [infer attrs thunk] = observe + {!shape_of_dirty}. Running the thunk's
+    phase again under the returned shape's specialized checkpointing is
+    sound if the phase keeps the same modification pattern. *)

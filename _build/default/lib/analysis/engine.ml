@@ -1,0 +1,206 @@
+open Ickpt_core
+open Ickpt_harness
+
+type mode = Full | Incremental | Specialized
+
+let pp_mode ppf m =
+  Format.pp_print_string ppf
+    (match m with
+    | Full -> "full"
+    | Incremental -> "incremental"
+    | Specialized -> "specialized")
+
+type iteration_stat = {
+  bytes : int;
+  seconds : float;
+  traversal_seconds : float option;
+  recorded : int;
+}
+
+type phase_report = {
+  phase : string;
+  iterations : int;
+  stats : iteration_stat list;
+  analysis_seconds : float;
+}
+
+type report = {
+  mode : mode;
+  n_stmts : int;
+  base_bytes : int;
+  phases : phase_report list;
+  chain : Chain.t;
+  attrs : Attrs.t;
+  env : Minic.Check.env;
+}
+
+let phase_bytes p = List.fold_left (fun acc s -> acc + s.bytes) 0 p.stats
+
+let phase_ckp_seconds p =
+  List.fold_left (fun acc s -> acc +. s.seconds) 0.0 p.stats
+
+(* One checkpointing step over the attribute roots, returning the stat. *)
+let checkpoint_step ~mode ~measure_traversal ~guard ~chain ~attrs ~spec_runner
+    ~shape () =
+  let roots = Attrs.roots attrs in
+  match mode with
+  | Full ->
+      let (taken : Chain.taken), seconds =
+        Clock.time (fun () -> Chain.take_full chain roots)
+      in
+      let traversal_seconds =
+        if not measure_traversal then None
+        else
+          let sink = Ickpt_stream.Out_stream.sink () in
+          let (), s =
+            Clock.time (fun () -> Checkpointer.full_many sink roots)
+          in
+          Some s
+      in
+      { bytes = Segment.body_size taken.Chain.segment;
+        seconds;
+        traversal_seconds;
+        recorded = taken.Chain.stats.Checkpointer.recorded }
+  | Incremental ->
+      let (taken : Chain.taken), seconds =
+        Clock.time (fun () -> Chain.take_incremental chain roots)
+      in
+      let traversal_seconds =
+        if not measure_traversal then None
+        else
+          let sink = Ickpt_stream.Out_stream.sink () in
+          let (), s =
+            Clock.time (fun () -> Checkpointer.incremental_many sink roots)
+          in
+          Some s
+      in
+      { bytes = Segment.body_size taken.Chain.segment;
+        seconds;
+        traversal_seconds;
+        recorded = taken.Chain.stats.Checkpointer.recorded }
+  | Specialized ->
+      if guard then
+        List.iter
+          (fun root ->
+            match Jspec.Guard.check shape root with
+            | [] -> ()
+            | v :: _ -> raise (Jspec.Guard.Violated v))
+          roots;
+      let d = Ickpt_stream.Out_stream.create () in
+      let (), seconds =
+        Clock.time (fun () -> List.iter (fun r -> spec_runner d r) roots)
+      in
+      let body = Ickpt_stream.Out_stream.contents d in
+      let segment =
+        { Segment.kind = Segment.Incremental;
+          seq = Chain.next_seq chain;
+          roots =
+            List.map
+              (fun (o : Ickpt_runtime.Model.obj) ->
+                o.Ickpt_runtime.Model.info.Ickpt_runtime.Model.id)
+              roots;
+          body }
+      in
+      Chain.append chain segment;
+      let traversal_seconds =
+        if not measure_traversal then None
+        else
+          let sink = Ickpt_stream.Out_stream.sink () in
+          let (), s =
+            Clock.time (fun () -> List.iter (fun r -> spec_runner sink r) roots)
+          in
+          Some s
+      in
+      { bytes = String.length body; seconds; traversal_seconds; recorded = -1 }
+
+(* One plan cache per engine run: the three phase shapes compile once each
+   and are shared however many iterations run (cf. Jspec.Spec_cache). *)
+let run_phase ~cache ~name ~mode ~measure_traversal ~guard ~chain ~attrs ~shape
+    analysis =
+  let spec_runner =
+    match mode with
+    | Specialized -> Jspec.Spec_cache.runner cache shape
+    | Full | Incremental -> fun _ _ -> ()
+  in
+  let stats = ref [] in
+  let ckp_total = ref 0.0 in
+  let on_iteration _i =
+    let stat =
+      checkpoint_step ~mode ~measure_traversal ~guard ~chain ~attrs
+        ~spec_runner ~shape ()
+    in
+    ckp_total :=
+      !ckp_total +. stat.seconds
+      +. Option.value ~default:0.0 stat.traversal_seconds;
+    stats := stat :: !stats
+  in
+  let iterations, total_seconds = Clock.time (fun () -> analysis ~on_iteration) in
+  { phase = name;
+    iterations;
+    stats = List.rev !stats;
+    analysis_seconds = Float.max 0.0 (total_seconds -. !ckp_total) }
+
+let analyze ?(mode = Incremental) ?division ?(sea_min = 1) ?(bta_min = 1)
+    ?(eta_min = 1) ?(measure_traversal = false) ?(guard = false) program =
+  let env = Minic.Check.check program in
+  let division =
+    match division with
+    | Some d -> d
+    | None ->
+        List.filter
+          (fun g -> List.exists (fun (x, _) -> x = g) env.Minic.Check.global_ids)
+          Minic.Gen.static_globals
+  in
+  let attrs = Attrs.create ~n_stmts:(Minic.Ast.stmt_count program) in
+  let chain = Chain.create (Attrs.schema attrs) in
+  (* Base checkpoint: everything is fresh, so record it all once. *)
+  let base = Chain.take_full chain (Attrs.roots attrs) in
+  let base_bytes = Segment.body_size base.Chain.segment in
+  let cache = Jspec.Spec_cache.create () in
+  let phases =
+    [ run_phase ~cache ~name:"sea" ~mode ~measure_traversal ~guard ~chain
+        ~attrs ~shape:(Attrs.sea_shape attrs) (fun ~on_iteration ->
+          Sea.run ~on_iteration ~min_iterations:sea_min env attrs);
+      run_phase ~cache ~name:"bta" ~mode ~measure_traversal ~guard ~chain
+        ~attrs ~shape:(Attrs.bta_shape attrs) (fun ~on_iteration ->
+          Bta_phase.run ~on_iteration ~min_iterations:bta_min ~division env
+            attrs);
+      run_phase ~cache ~name:"eta" ~mode ~measure_traversal ~guard ~chain
+        ~attrs ~shape:(Attrs.eta_shape attrs) (fun ~on_iteration ->
+          Eta_phase.run ~on_iteration ~min_iterations:eta_min ~division env
+            attrs) ]
+  in
+  { mode;
+    n_stmts = Attrs.n_stmts attrs;
+    base_bytes;
+    phases;
+    chain;
+    attrs;
+    env }
+
+let recover_annotations report =
+  match Chain.recover report.chain with
+  | Error e -> failwith ("recover_annotations: " ^ e)
+  | Ok (_heap, roots) ->
+      let open Ickpt_runtime in
+      let child_exn o i =
+        match o.Model.children.(i) with
+        | Some c -> c
+        | None -> failwith "recover_annotations: missing child"
+      in
+      let chain_to_list head =
+        let rec go acc = function
+          | None -> List.rev acc
+          | Some (o : Model.obj) -> go (o.Model.ints.(0) :: acc) o.Model.children.(0)
+        in
+        go [] head
+      in
+      List.map
+        (fun attr ->
+          let se = child_exn attr 0 in
+          let bt = (child_exn (child_exn attr 1) 0).Model.ints.(0) in
+          let et = (child_exn (child_exn attr 2) 0).Model.ints.(0) in
+          let reads = chain_to_list se.Model.children.(0) in
+          let writes = chain_to_list se.Model.children.(1) in
+          (bt, et, reads, writes))
+        roots

@@ -1,0 +1,73 @@
+(** The phase driver: runs the three analyses over a program, taking a
+    checkpoint at the end of every iteration (paper Section 4.2: "the end
+    of an iteration is a natural time at which to take a checkpoint"),
+    with one of three checkpointing methods:
+
+    - [Full] — record every object each time (the paper's baseline);
+    - [Incremental] — the generic Figure-1 algorithm (one full base
+      checkpoint, then modified-only);
+    - [Specialized] — phase-specific residual code produced by {!Jspec.Pe}
+      from the {!Attrs} shapes, compiled to closures.
+
+    The driver also measures, per iteration, checkpoint construction time
+    and (optionally) pure traversal time — re-running the same routine on
+    the now-clean heap with a byte-counting sink, which exercises tests and
+    dispatch but records nothing (the "traversal time" row of Table 1). *)
+
+open Ickpt_core
+
+type mode = Full | Incremental | Specialized
+
+val pp_mode : Format.formatter -> mode -> unit
+
+type iteration_stat = {
+  bytes : int;  (** checkpoint body size *)
+  seconds : float;  (** construction time *)
+  traversal_seconds : float option;
+  recorded : int;  (** objects recorded (full/incremental modes only) *)
+}
+
+type phase_report = {
+  phase : string;  (** "sea", "bta" or "eta" *)
+  iterations : int;
+  stats : iteration_stat list;  (** one per iteration, in order *)
+  analysis_seconds : float;  (** time in the analysis itself *)
+}
+
+type report = {
+  mode : mode;
+  n_stmts : int;
+  base_bytes : int;  (** size of the initial full checkpoint *)
+  phases : phase_report list;
+  chain : Chain.t;
+  attrs : Attrs.t;
+  env : Minic.Check.env;
+}
+
+val analyze :
+  ?mode:mode ->
+  ?division:string list ->
+  ?sea_min:int -> ?bta_min:int -> ?eta_min:int ->
+  ?measure_traversal:bool ->
+  ?guard:bool ->
+  Minic.Ast.program ->
+  report
+(** Defaults: [mode = Incremental]; [division] = the program's globals
+    named in {!Minic.Gen.static_globals}; minimum iteration counts 1 (the
+    paper's configuration is [bta_min = 9], [eta_min = 3]);
+    [measure_traversal = false]; [guard = false] (when true, every
+    specialized checkpoint validates the declarations first and raises
+    {!Jspec.Guard.Violated} on a breach).
+
+    The chain in the result can be recovered to verify the checkpointed
+    analysis state (see the crash-recovery example). *)
+
+val phase_bytes : phase_report -> int
+
+val phase_ckp_seconds : phase_report -> float
+
+val recover_annotations :
+  report -> (int * int * int list * int list) list
+(** Recover the chain and read back, for each statement (in sid order),
+    the tuple [(bt, et, reads, writes)] — used to validate recovery
+    end-to-end. @raise Failure when the chain cannot be recovered. *)

@@ -1,0 +1,138 @@
+open Minic.Ast
+
+let spec = Attrs.et_spec_time
+let run_t = Attrs.et_run_time
+
+let join a b = max a b
+
+type state = {
+  var_et : (string * string, int) Hashtbl.t;
+  fun_ctx : (string, int) Hashtbl.t;
+  fun_ret : (string, int) Hashtbl.t;
+  mutable changed : bool;
+}
+
+let lookup tbl key default =
+  match Hashtbl.find_opt tbl key with Some v -> v | None -> default
+
+let raise_to st tbl key v =
+  let old = lookup tbl key spec in
+  let v' = join old v in
+  if v' <> old then begin
+    Hashtbl.replace tbl key v';
+    st.changed <- true
+  end
+
+let var_key (env : Minic.Check.env) fname x =
+  let f =
+    List.find (fun f -> f.f_name = fname) env.Minic.Check.program.funcs
+  in
+  let is_local =
+    List.mem x f.f_params || List.exists (fun l -> l.v_name = x) f.f_locals
+  in
+  if is_local then (fname, x) else ("", x)
+
+let init ~division (env : Minic.Check.env) =
+  let st =
+    { var_et = Hashtbl.create 64;
+      fun_ctx = Hashtbl.create 16;
+      fun_ret = Hashtbl.create 16;
+      changed = false }
+  in
+  List.iter
+    (fun g ->
+      let et = if List.mem g.v_name division then spec else run_t in
+      Hashtbl.replace st.var_et ("", g.v_name) et)
+    env.Minic.Check.program.globals;
+  st
+
+let round ~(env : Minic.Check.env) st attrs =
+  let p = env.Minic.Check.program in
+  let var_et fname x = lookup st.var_et (var_key env fname x) spec in
+  let rec expr_et fname ctx e =
+    match e with
+    | E_int _ -> spec
+    | E_var x -> var_et fname x
+    | E_index (a, i) -> join (var_et fname a) (expr_et fname ctx i)
+    | E_unop (_, e) -> expr_et fname ctx e
+    | E_binop (_, l, r) -> join (expr_et fname ctx l) (expr_et fname ctx r)
+    | E_call (g, args) ->
+        let callee =
+          match Minic.Ast.find_func p g with
+          | Some f -> f
+          | None -> invalid_arg ("Eta: call to unknown " ^ g)
+        in
+        List.iteri
+          (fun i a ->
+            let aet = expr_et fname ctx a in
+            match List.nth_opt callee.f_params i with
+            | Some param -> raise_to st st.var_et (g, param) (join aet ctx)
+            | None -> ())
+          args;
+        raise_to st st.fun_ctx g ctx;
+        lookup st.fun_ret g spec
+  in
+  let changed_store = ref false in
+  let store sid et = if Attrs.set_et attrs sid et then changed_store := true in
+  let rec stmt fname ctx s =
+    (* A statement BTA marked dynamic is run-time outright; a static one is
+       spec-time only if its parts and context are. *)
+    let bta_dynamic = Attrs.get_bt attrs s.sid = Attrs.bt_dynamic in
+    let et =
+      match s.node with
+      | S_assign (x, e) ->
+          let et =
+            if bta_dynamic then run_t else join ctx (expr_et fname ctx e)
+          in
+          raise_to st st.var_et (var_key env fname x) et;
+          et
+      | S_store (a, i, e) ->
+          let et =
+            if bta_dynamic then run_t
+            else join ctx (join (expr_et fname ctx i) (expr_et fname ctx e))
+          in
+          raise_to st st.var_et (var_key env fname a) et;
+          et
+      | S_expr e ->
+          if bta_dynamic then run_t else join ctx (expr_et fname ctx e)
+      | S_return None -> if bta_dynamic then run_t else ctx
+      | S_return (Some e) ->
+          let et =
+            if bta_dynamic then run_t else join ctx (expr_et fname ctx e)
+          in
+          raise_to st st.fun_ret fname et;
+          et
+      | S_if (c, t, f) ->
+          let cet =
+            if bta_dynamic then run_t else join ctx (expr_et fname ctx c)
+          in
+          List.iter (stmt fname cet) t;
+          List.iter (stmt fname cet) f;
+          cet
+      | S_while (c, b) ->
+          let cet =
+            if bta_dynamic then run_t else join ctx (expr_et fname ctx c)
+          in
+          List.iter (stmt fname cet) b;
+          cet
+    in
+    store s.sid et
+  in
+  List.iter
+    (fun f ->
+      let ctx = lookup st.fun_ctx f.f_name spec in
+      List.iter (stmt f.f_name ctx) f.f_body)
+    p.funcs;
+  !changed_store
+
+let run ?(on_iteration = fun _ -> ()) ?(min_iterations = 1) ~division env attrs
+    =
+  let st = init ~division env in
+  let rec go i =
+    st.changed <- false;
+    let stored_changed = round ~env st attrs in
+    on_iteration i;
+    if st.changed || stored_changed || i + 1 < min_iterations then go (i + 1)
+    else i + 1
+  in
+  go 0

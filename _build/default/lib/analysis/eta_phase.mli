@@ -1,0 +1,16 @@
+(** Evaluation-time analysis (paper Section 4.1): determines, for each
+    statement the binding-time analysis marked static, whether it is
+    actually {e evaluable at specialization time} — i.e. every variable it
+    reads is defined by specialization-time computations and it is not
+    nested under run-time control. Statements marked dynamic by BTA are
+    run-time by definition.
+
+    Reads the BT annotations already stored in {!Attrs}, so it must run
+    after {!Bta_phase} — matching the paper's phase ordering, where each
+    phase reads but does not modify the results of earlier phases. *)
+
+val run :
+  ?on_iteration:(int -> unit) -> ?min_iterations:int ->
+  division:string list -> Minic.Check.env -> Attrs.t -> int
+(** Returns the iteration count; stores {!Attrs.et_spec_time} /
+    {!Attrs.et_run_time} per statement. *)

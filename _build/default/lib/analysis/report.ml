@@ -1,0 +1,78 @@
+type func_summary = {
+  fname : string;
+  statements : int;
+  bt_static : int;
+  bt_dynamic : int;
+  et_spec : int;
+  et_run : int;
+  globals_read : int;
+  globals_written : int;
+}
+
+module Int_set = Sea.Int_set
+
+let per_function (env : Minic.Check.env) attrs =
+  let acc = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun (f : Minic.Ast.func) ->
+      order := f.Minic.Ast.f_name :: !order;
+      Hashtbl.replace acc f.Minic.Ast.f_name
+        ( ref 0, ref 0, ref 0, ref 0, ref 0,
+          ref Int_set.empty, ref Int_set.empty ))
+    env.Minic.Check.program.Minic.Ast.funcs;
+  Minic.Ast.iter_stmts env.Minic.Check.program (fun f s ->
+      let n, bs, bd, es, er, reads, writes =
+        Hashtbl.find acc f.Minic.Ast.f_name
+      in
+      incr n;
+      let sid = s.Minic.Ast.sid in
+      let bt = Attrs.get_bt attrs sid in
+      if bt = Attrs.bt_static then incr bs
+      else if bt = Attrs.bt_dynamic then incr bd;
+      let et = Attrs.get_et attrs sid in
+      if et = Attrs.et_spec_time then incr es
+      else if et = Attrs.et_run_time then incr er;
+      reads := Int_set.union !reads (Int_set.of_list (Attrs.get_reads attrs sid));
+      writes :=
+        Int_set.union !writes (Int_set.of_list (Attrs.get_writes attrs sid)));
+  List.rev_map
+    (fun fname ->
+      let n, bs, bd, es, er, reads, writes = Hashtbl.find acc fname in
+      { fname;
+        statements = !n;
+        bt_static = !bs;
+        bt_dynamic = !bd;
+        et_spec = !es;
+        et_run = !er;
+        globals_read = Int_set.cardinal !reads;
+        globals_written = Int_set.cardinal !writes })
+    !order
+
+let pp ppf summaries =
+  let open Ickpt_harness in
+  let table =
+    Table.create ~title:"analysis results by function"
+      ~columns:
+        [ "function"; "stmts"; "bt static"; "bt dynamic"; "et spec";
+          "et run"; "reads"; "writes" ]
+  in
+  let add s =
+    Table.add_row table
+      [ s.fname; string_of_int s.statements; string_of_int s.bt_static;
+        string_of_int s.bt_dynamic; string_of_int s.et_spec;
+        string_of_int s.et_run; string_of_int s.globals_read;
+        string_of_int s.globals_written ]
+  in
+  List.iter add summaries;
+  let total f = List.fold_left (fun acc s -> acc + f s) 0 summaries in
+  add
+    { fname = "TOTAL";
+      statements = total (fun s -> s.statements);
+      bt_static = total (fun s -> s.bt_static);
+      bt_dynamic = total (fun s -> s.bt_dynamic);
+      et_spec = total (fun s -> s.et_spec);
+      et_run = total (fun s -> s.et_run);
+      globals_read = total (fun s -> s.globals_read);
+      globals_written = total (fun s -> s.globals_written) };
+  Table.pp ppf table

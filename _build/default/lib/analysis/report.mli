@@ -1,0 +1,20 @@
+(** Human-readable summaries of the analysis results stored in an
+    {!Attrs} store — the per-function view [minic_analyze] prints. *)
+
+type func_summary = {
+  fname : string;
+  statements : int;
+  bt_static : int;
+  bt_dynamic : int;
+  et_spec : int;
+  et_run : int;
+  globals_read : int;  (** distinct globals read across the function *)
+  globals_written : int;
+}
+
+val per_function : Minic.Check.env -> Attrs.t -> func_summary list
+(** One summary per function, in program order. Call after the analyses
+    have run. *)
+
+val pp : Format.formatter -> func_summary list -> unit
+(** An aligned table with a whole-program totals row. *)

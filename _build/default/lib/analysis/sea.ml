@@ -1,0 +1,127 @@
+open Minic.Ast
+
+module Int_set = Set.Make (Int)
+
+type summary = { reads : Int_set.t; writes : Int_set.t }
+
+let empty_summary = { reads = Int_set.empty; writes = Int_set.empty }
+
+let union a b =
+  { reads = Int_set.union a.reads b.reads;
+    writes = Int_set.union a.writes b.writes }
+
+let equal_summary a b =
+  Int_set.equal a.reads b.reads && Int_set.equal a.writes b.writes
+
+(* Per-round recomputation of statement effects under the current function
+   summaries. [store] persists per-statement sets into Attrs (when given). *)
+let round (env : Minic.Check.env) summaries ~store =
+  let p = env.Minic.Check.program in
+  let summary_of fname =
+    match Hashtbl.find_opt summaries fname with
+    | Some s -> s
+    | None -> empty_summary
+  in
+  let gid x = Minic.Check.global_id env x in
+  let rec expr_effect e =
+    match e with
+    | E_int _ -> empty_summary
+    | E_var x -> (
+        match gid x with
+        | Some id -> { empty_summary with reads = Int_set.singleton id }
+        | None -> empty_summary)
+    | E_index (a, i) ->
+        let base =
+          match gid a with
+          | Some id -> { empty_summary with reads = Int_set.singleton id }
+          | None -> empty_summary
+        in
+        union base (expr_effect i)
+    | E_unop (_, e) -> expr_effect e
+    | E_binop (_, l, r) -> union (expr_effect l) (expr_effect r)
+    | E_call (g, args) ->
+        List.fold_left
+          (fun acc a -> union acc (expr_effect a))
+          (summary_of g) args
+  in
+  let changed = ref false in
+  let rec stmt_effect s =
+    let eff =
+      match s.node with
+      | S_assign (x, e) -> (
+          let rhs = expr_effect e in
+          match gid x with
+          | Some id -> { rhs with writes = Int_set.add id rhs.writes }
+          | None -> rhs)
+      | S_store (a, i, e) -> (
+          let eff = union (expr_effect i) (expr_effect e) in
+          match gid a with
+          | Some id -> { eff with writes = Int_set.add id eff.writes }
+          | None -> eff)
+      | S_expr e -> expr_effect e
+      | S_return None -> empty_summary
+      | S_return (Some e) -> expr_effect e
+      | S_if (c, t, f) ->
+          List.fold_left
+            (fun acc s -> union acc (stmt_effect s))
+            (expr_effect c) (t @ f)
+      | S_while (c, b) ->
+          List.fold_left
+            (fun acc s -> union acc (stmt_effect s))
+            (expr_effect c) b
+    in
+    (match store with
+    | None -> ()
+    | Some attrs ->
+        let r = Attrs.set_reads attrs s.sid (Int_set.elements eff.reads) in
+        let w = Attrs.set_writes attrs s.sid (Int_set.elements eff.writes) in
+        if r || w then changed := true);
+    eff
+  in
+  let new_summaries = Hashtbl.create 16 in
+  List.iter
+    (fun f ->
+      let eff =
+        List.fold_left (fun acc s -> union acc (stmt_effect s)) empty_summary
+          f.f_body
+      in
+      Hashtbl.replace new_summaries f.f_name eff)
+    p.funcs;
+  let summaries_changed =
+    List.exists
+      (fun f ->
+        not
+          (equal_summary
+             (match Hashtbl.find_opt summaries f.f_name with
+             | Some s -> s
+             | None -> empty_summary)
+             (Hashtbl.find new_summaries f.f_name)))
+      p.funcs
+  in
+  Hashtbl.reset summaries;
+  Hashtbl.iter (Hashtbl.replace summaries) new_summaries;
+  (summaries_changed, !changed)
+
+let run ?(on_iteration = fun _ -> ()) ?(min_iterations = 1) env attrs =
+  let summaries = Hashtbl.create 16 in
+  let rec go i =
+    let summaries_changed, stored_changed =
+      round env summaries ~store:(Some attrs)
+    in
+    on_iteration i;
+    if summaries_changed || stored_changed || i + 1 < min_iterations then
+      go (i + 1)
+    else i + 1
+  in
+  go 0
+
+let summaries env =
+  let summaries = Hashtbl.create 16 in
+  let rec go () =
+    let summaries_changed, _ = round env summaries ~store:None in
+    if summaries_changed then go ()
+  in
+  go ();
+  List.map
+    (fun f -> (f.f_name, Hashtbl.find summaries f.f_name))
+    env.Minic.Check.program.funcs

@@ -1,0 +1,21 @@
+(** Side-effect analysis (paper Section 4.1): for every statement, the set
+    of global variables it may read and write, including the effects of the
+    functions it calls. Function summaries are computed by fixpoint
+    iteration over the call graph; each whole-program round stores the
+    current per-statement sets into the {!Attrs} store and invokes the
+    [on_iteration] callback (where the engine takes a checkpoint). *)
+
+module Int_set : Set.S with type elt = int
+
+type summary = { reads : Int_set.t; writes : Int_set.t }
+
+val run :
+  ?on_iteration:(int -> unit) -> ?min_iterations:int -> Minic.Check.env ->
+  Attrs.t -> int
+(** Returns the number of iterations executed (at least [min_iterations],
+    default 1, and at least until the summaries and stored sets reach their
+    fixpoint). The callback receives the 0-based iteration index after the
+    iteration's results are stored. *)
+
+val summaries : Minic.Check.env -> (string * summary) list
+(** The converged per-function summaries (for tests and inspection). *)

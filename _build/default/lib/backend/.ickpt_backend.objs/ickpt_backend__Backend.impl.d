@@ -1,0 +1,1 @@
+lib/backend/backend.ml: Compile Generic_method Ickpt_runtime Ickpt_stream Interp Jspec List Model Pe

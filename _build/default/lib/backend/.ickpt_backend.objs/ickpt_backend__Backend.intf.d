@@ -1,0 +1,1 @@
+lib/backend/backend.mli: Ickpt_runtime Ickpt_stream Jspec Model

@@ -1,0 +1,61 @@
+open Ickpt_runtime
+open Jspec
+
+type t = {
+  name : string;
+  description : string;
+  run_generic : Ickpt_stream.Out_stream.t -> Model.obj -> unit;
+  specialize : Jspec.Pe.result -> Ickpt_stream.Out_stream.t -> Model.obj -> unit;
+}
+
+let dispatches = ref 0
+
+let ic_misses = ref 0
+
+let dispatch_count () = !dispatches
+
+let ic_miss_count () = !ic_misses
+
+let interp =
+  { name = "interp";
+    description = "AST interpretation (JDK 1.2 JIT analog)";
+    run_generic = (fun d o -> Interp.run_program Generic_method.program d o);
+    specialize =
+      (fun r ->
+        let body = r.Pe.body and n_vars = r.Pe.n_vars in
+        fun d o -> Interp.run_residual body ~n_vars d o) }
+
+let inline_cache =
+  (* A monomorphic inline cache per backend (call sites share it, which is
+     pessimistic but the workloads are class-homogeneous), plus profiling
+     counters on dispatch and on specialized-code entry: the residual costs
+     a dynamic compiler keeps paying. *)
+  let cached_kid = ref (-1) in
+  let profile = ref 0 in
+  let on_dispatch (o : Model.obj) =
+    (* Monomorphic cache check per call; bookkeeping only on a miss — the
+       cost profile of a warmed-up inline cache. *)
+    let kid = o.Model.klass.Model.kid in
+    if !cached_kid <> kid then begin
+      incr dispatches;
+      incr ic_misses;
+      cached_kid := kid
+    end
+  in
+  { name = "inline-cache";
+    description = "compiled with inline-cached dispatch (HotSpot analog)";
+    run_generic = Compile.program ~on_dispatch Generic_method.program;
+    specialize =
+      (fun r -> Compile.residual ~on_entry:(fun () -> incr profile) r) }
+
+let native =
+  { name = "native";
+    description = "compiled closures, plain vtable dispatch (Harissa analog)";
+    run_generic =
+      Compile.program ~on_dispatch:(fun _ -> incr dispatches)
+        Generic_method.program;
+    specialize = (fun r -> Compile.residual r) }
+
+let all = [ interp; inline_cache; native ]
+
+let find name = List.find (fun b -> b.name = name) all

@@ -1,0 +1,50 @@
+(** Execution environments for checkpoint code.
+
+    The paper evaluates on three Java environments; each has an analog here
+    with the corresponding execution regime for both the {e generic}
+    incremental algorithm and {e specialized} residual code:
+
+    - {!interp} — the JDK 1.2 JIT analog: checkpoint code runs under AST
+      interpretation ({!Jspec.Interp}), paying per-operation overhead and a
+      method-table lookup per virtual call;
+    - {!inline_cache} — the HotSpot analog: code is compiled to closures,
+      but virtual calls go through a dispatch table with a monomorphic
+      inline cache, and method entries bump profiling counters (the cost a
+      dynamic compiler keeps paying at run time);
+    - {!native} — the Harissa (Java-to-C) analog: compiled closures with no
+      instrumentation; generic code still pays real vtable dispatch, which
+      is exactly what specialization then removes.
+
+    All backends produce identical bytes (property-tested); only cost
+    differs. *)
+
+open Ickpt_runtime
+
+type t = {
+  name : string;
+  description : string;
+  run_generic : Ickpt_stream.Out_stream.t -> Model.obj -> unit;
+      (** the unspecialized incremental algorithm under this regime *)
+  specialize : Jspec.Pe.result -> Ickpt_stream.Out_stream.t -> Model.obj -> unit;
+      (** compile/install specialized residual code for this regime; call
+          once per shape and reuse the returned runner *)
+}
+
+val interp : t
+
+val inline_cache : t
+
+val native : t
+
+val all : t list
+(** [interp; inline_cache; native] — slowest first. *)
+
+val find : string -> t
+(** Look up by [name]. @raise Not_found. *)
+
+val dispatch_count : unit -> int
+(** Total virtual dispatches performed by [inline_cache] and [native]
+    generic runs since program start (instrumentation for tests). *)
+
+val ic_miss_count : unit -> int
+(** Inline-cache misses observed by [inline_cache]. *)

@@ -1,0 +1,1 @@
+lib/core/async_writer.ml: Condition Fun Mutex Printexc Queue Segment Thread

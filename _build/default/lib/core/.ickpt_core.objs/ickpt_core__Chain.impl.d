@@ -1,0 +1,1 @@
+lib/core/chain.ml: Checkpointer Format Ickpt_runtime Ickpt_stream In_stream List Model Out_stream Restore Schema Segment

@@ -1,0 +1,1 @@
+lib/core/chain.mli: Checkpointer Heap Ickpt_runtime Model Schema Segment

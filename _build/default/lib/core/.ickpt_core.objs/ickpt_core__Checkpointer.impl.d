@@ -1,0 +1,1 @@
+lib/core/checkpointer.ml: Hashtbl Ickpt_runtime Ickpt_stream List Model Out_stream

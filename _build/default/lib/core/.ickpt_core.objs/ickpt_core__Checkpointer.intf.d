@@ -1,0 +1,1 @@
+lib/core/checkpointer.mli: Ickpt_runtime Ickpt_stream Model

@@ -1,0 +1,1 @@
+lib/core/diff.ml: Array Chain Format Hashtbl List Option Printf Restore

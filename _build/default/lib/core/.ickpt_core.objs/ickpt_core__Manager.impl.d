@@ -1,0 +1,1 @@
+lib/core/manager.ml: Async_writer Chain Ickpt_runtime Ickpt_stream List Model Out_stream Policy Schema Segment Storage

@@ -1,0 +1,1 @@
+lib/core/manager.mli: Chain Heap Ickpt_runtime Ickpt_stream Model Policy Schema Segment

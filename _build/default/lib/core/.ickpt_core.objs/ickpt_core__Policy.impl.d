@@ -1,0 +1,1 @@
+lib/core/policy.ml: Chain Format List Segment

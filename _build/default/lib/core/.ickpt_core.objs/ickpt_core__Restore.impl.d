@@ -1,0 +1,1 @@
+lib/core/restore.ml: Array Format Hashtbl Heap Ickpt_runtime Ickpt_stream In_stream List Model Schema Segment

@@ -1,0 +1,1 @@
+lib/core/restore.mli: Heap Ickpt_runtime Model Schema Segment

@@ -1,0 +1,1 @@
+lib/core/segment.ml: Buffer Char Crc32 Format Ickpt_stream In_stream List Out_stream Printf String

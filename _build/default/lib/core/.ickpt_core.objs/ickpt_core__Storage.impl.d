@@ -1,0 +1,1 @@
+lib/core/storage.ml: Chain Fun Ickpt_stream List Segment String Sys

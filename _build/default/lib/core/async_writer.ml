@@ -1,0 +1,125 @@
+type state = Running | Closed | Failed of exn
+
+type t = {
+  mutex : Mutex.t;
+  not_empty : Condition.t;
+  not_full : Condition.t;
+  drained : Condition.t;
+  queue : Segment.t Queue.t;
+  queue_limit : int;
+  mutable state : state;
+  mutable in_flight : bool;  (* a segment is being written right now *)
+  mutable thread : Thread.t option;
+  oc : out_channel;
+}
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let writer_loop t =
+  let rec next () =
+    Mutex.lock t.mutex;
+    let rec wait () =
+      if Queue.is_empty t.queue then
+        match t.state with
+        | Closed | Failed _ ->
+            Mutex.unlock t.mutex;
+            None
+        | Running ->
+            Condition.wait t.not_empty t.mutex;
+            wait ()
+      else begin
+        let seg = Queue.pop t.queue in
+        t.in_flight <- true;
+        Condition.broadcast t.not_full;
+        Mutex.unlock t.mutex;
+        Some seg
+      end
+    in
+    match wait () with
+    | None -> ()
+    | Some seg ->
+        (match output_string t.oc (Segment.encode seg) with
+        | () ->
+            flush t.oc;
+            locked t (fun () ->
+                t.in_flight <- false;
+                Condition.broadcast t.drained)
+        | exception e ->
+            locked t (fun () ->
+                t.in_flight <- false;
+                t.state <- Failed e;
+                Condition.broadcast t.drained;
+                Condition.broadcast t.not_full));
+        next ()
+  in
+  next ()
+
+let create ?(queue_limit = 64) ~path () =
+  if queue_limit < 1 then invalid_arg "Async_writer.create: queue_limit < 1";
+  let oc = open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path in
+  let t =
+    { mutex = Mutex.create ();
+      not_empty = Condition.create ();
+      not_full = Condition.create ();
+      drained = Condition.create ();
+      queue = Queue.create ();
+      queue_limit;
+      state = Running;
+      in_flight = false;
+      thread = None;
+      oc }
+  in
+  t.thread <- Some (Thread.create writer_loop t);
+  t
+
+let check_state t =
+  match t.state with
+  | Running -> ()
+  | Closed -> failwith "Async_writer: closed"
+  | Failed e -> failwith ("Async_writer: writer failed: " ^ Printexc.to_string e)
+
+let enqueue t seg =
+  locked t (fun () ->
+      check_state t;
+      while Queue.length t.queue >= t.queue_limit && t.state = Running do
+        Condition.wait t.not_full t.mutex
+      done;
+      check_state t;
+      Queue.push seg t.queue;
+      Condition.signal t.not_empty)
+
+let flush t =
+  locked t (fun () ->
+      while
+        (not (Queue.is_empty t.queue && not t.in_flight))
+        && t.state = Running
+      do
+        Condition.wait t.drained t.mutex
+      done;
+      match t.state with Failed _ -> check_state t | Running | Closed -> ())
+
+let pending t =
+  locked t (fun () -> Queue.length t.queue + if t.in_flight then 1 else 0)
+
+let close t =
+  let join =
+    locked t (fun () ->
+        match t.state with
+        | Closed -> None
+        | Running | Failed _ ->
+            (* Let the thread drain the queue, then exit. *)
+            (match t.state with Running -> t.state <- Closed | _ -> ());
+            Condition.broadcast t.not_empty;
+            Condition.broadcast t.not_full;
+            t.thread)
+  in
+  match join with
+  | None -> ()
+  | Some thread ->
+      (* The writer drains remaining segments before observing Closed:
+         writer_loop only exits on an empty queue. *)
+      Thread.join thread;
+      locked t (fun () -> t.thread <- None);
+      close_out_noerr t.oc

@@ -1,0 +1,33 @@
+(** Asynchronous write-out of checkpoint segments.
+
+    The paper's protocol constructs checkpoints synchronously (blocking the
+    application) but writes them "from the output stream to stable storage
+    asynchronously". This module provides that second half: a background
+    thread drains a bounded queue of encoded segments into an append-only
+    log, so the application's checkpoint latency covers construction only.
+
+    Ordering is preserved (the queue is FIFO); durability points are
+    explicit ({!flush} blocks until everything enqueued so far has reached
+    the file). If the writer thread fails (e.g. disk error), the error
+    surfaces at the next {!enqueue}, {!flush} or {!close}. *)
+
+type t
+
+val create : ?queue_limit:int -> path:string -> unit -> t
+(** Start a writer appending to [path] (created if missing).
+    [queue_limit] (default 64) bounds the number of in-flight segments;
+    {!enqueue} blocks when the queue is full — back-pressure instead of
+    unbounded memory. *)
+
+val enqueue : t -> Segment.t -> unit
+(** Hand a segment to the writer; returns as soon as it is queued.
+    @raise Failure if the writer has failed or was closed. *)
+
+val flush : t -> unit
+(** Block until every segment enqueued so far is written and synced. *)
+
+val pending : t -> int
+(** Segments queued but not yet written. *)
+
+val close : t -> unit
+(** Flush, stop the thread, close the file. Idempotent. *)

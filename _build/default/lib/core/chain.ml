@@ -1,0 +1,105 @@
+open Ickpt_runtime
+open Ickpt_stream
+
+exception Invalid of string
+
+let invalid fmt = Format.kasprintf (fun s -> raise (Invalid s)) fmt
+
+type t = {
+  schema : Schema.t;
+  mutable segments : Segment.t list;  (* newest first *)
+  mutable next_seq : int;
+}
+
+let create schema = { schema; segments = []; next_seq = 0 }
+
+let schema t = t.schema
+
+type taken = { segment : Segment.t; stats : Checkpointer.stats }
+
+let segments t = List.rev t.segments
+
+let length t = List.length t.segments
+
+let next_seq t = t.next_seq
+
+let next_kind_is_full t = t.segments = []
+
+let append t seg =
+  if seg.Segment.seq <> t.next_seq then
+    invalid "segment seq %d, expected %d" seg.Segment.seq t.next_seq;
+  (match seg.Segment.kind with
+  | Segment.Incremental when t.segments = [] ->
+      invalid "incremental checkpoint with no full base"
+  | Segment.Incremental | Segment.Full -> ());
+  t.segments <- seg :: t.segments;
+  t.next_seq <- t.next_seq + 1
+
+let take ~kind runner t roots =
+  let stats = Checkpointer.fresh_stats () in
+  let d = Out_stream.create () in
+  runner ~stats d roots;
+  let segment =
+    { Segment.kind;
+      seq = t.next_seq;
+      roots = List.map (fun o -> o.Model.info.Model.id) roots;
+      body = Out_stream.contents d }
+  in
+  append t segment;
+  { segment; stats }
+
+let take_full t roots =
+  take ~kind:Segment.Full
+    (fun ~stats d roots -> Checkpointer.full_many ~stats d roots)
+    t roots
+
+let take_incremental t roots =
+  if t.segments = [] then invalid "take_incremental: no full base";
+  take ~kind:Segment.Incremental
+    (fun ~stats d roots -> Checkpointer.incremental_many ~stats d roots)
+    t roots
+
+let total_bytes t =
+  List.fold_left (fun acc s -> acc + Segment.body_size s) 0 t.segments
+
+let recover t =
+  match t.segments with
+  | [] -> Error "recover: empty chain"
+  | newest :: _ -> (
+      let since_full =
+        (* Oldest-first suffix starting at the newest Full segment. *)
+        let rec cut acc = function
+          | [] -> None
+          | seg :: older -> (
+              match seg.Segment.kind with
+              | Segment.Full -> Some (seg :: acc)
+              | Segment.Incremental -> cut (seg :: acc) older)
+        in
+        cut [] t.segments
+      in
+      match since_full with
+      | None -> Error "recover: no full checkpoint in chain"
+      | Some segs -> (
+          try Ok (Restore.of_segments t.schema segs ~roots:newest.Segment.roots)
+          with
+          | Restore.Error msg -> Error ("restore: " ^ msg)
+          | In_stream.Corrupt msg -> Error ("corrupt: " ^ msg)))
+
+let compact t =
+  match recover t with
+  | Error _ when t.segments = [] -> ()
+  | Error msg -> invalid "compact: %s" msg
+  | Ok (_heap, roots) ->
+      let d = Out_stream.create () in
+      let stats = Checkpointer.fresh_stats () in
+      Checkpointer.full_many ~stats d roots;
+      (* The compacted chain is a fresh one: numbering restarts at 0 so a
+         persisted compacted log reloads like any other chain. *)
+      let seg =
+        { Segment.kind = Segment.Full;
+          seq = 0;
+          roots = List.map (fun o -> o.Model.info.Model.id) roots;
+          body = Out_stream.contents d }
+      in
+      t.segments <- [ seg ];
+      t.next_seq <- 1

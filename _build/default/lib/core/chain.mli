@@ -1,0 +1,61 @@
+(** A checkpoint chain: one full (base) checkpoint followed by incremental
+    checkpoints, exactly the sequence the paper's incremental scheme
+    produces. The chain owns sequence numbering and validates ordering.
+
+    The chain is also the recovery unit: {!recover} replays the newest full
+    segment and everything after it. {!compact} folds the whole chain into a
+    single full segment (an extension beyond the paper; bounds recovery
+    time and storage). *)
+
+open Ickpt_runtime
+
+exception Invalid of string
+(** Structural misuse: incremental before any full checkpoint, out-of-order
+    sequence numbers, or recovery from an empty chain. *)
+
+type t
+
+val create : Schema.t -> t
+
+val schema : t -> Schema.t
+
+(** {1 Taking checkpoints} *)
+
+type taken = { segment : Segment.t; stats : Checkpointer.stats }
+
+val take_full : t -> Model.obj list -> taken
+(** Run the full checkpointer over the roots and append the segment. *)
+
+val take_incremental : t -> Model.obj list -> taken
+(** Run the incremental checkpointer (Figure 1) over the roots and append.
+    @raise Invalid when the chain has no full base. *)
+
+val append : t -> Segment.t -> unit
+(** Append an externally produced segment (e.g. built by a specialized
+    checkpointing routine). Validates kind/sequence.
+    @raise Invalid on a sequence gap or a baseless incremental. *)
+
+val next_seq : t -> int
+
+val next_kind_is_full : t -> bool
+(** True when the chain is empty, i.e. the next checkpoint must be full. *)
+
+(** {1 Inspecting and recovering} *)
+
+val segments : t -> Segment.t list
+(** Oldest first. *)
+
+val length : t -> int
+
+val total_bytes : t -> int
+(** Sum of body sizes across the chain. *)
+
+val recover : t -> (Heap.t * Model.obj list, string) result
+(** Rebuild the heap from the newest full segment and all subsequent
+    incrementals; returns the roots recorded in the newest segment. *)
+
+val compact : t -> unit
+(** Replace the chain's segments by a single equivalent full segment
+    (obtained by recovery + full re-checkpoint) and restart sequence
+    numbering at 0, so a persisted compacted log reloads like a fresh
+    chain. No-op on an empty chain. *)

@@ -1,0 +1,78 @@
+
+type change =
+  | Added of int
+  | Removed of int
+  | Int_changed of { id : int; slot : int; before : int; after : int }
+  | Child_changed of { id : int; slot : int; before : int; after : int }
+  | Class_changed of { id : int; before : int; after : int }
+
+let pp_change ppf = function
+  | Added id -> Format.fprintf ppf "+ object %d" id
+  | Removed id -> Format.fprintf ppf "- object %d" id
+  | Int_changed { id; slot; before; after } ->
+      Format.fprintf ppf "~ object %d ints[%d]: %d -> %d" id slot before after
+  | Child_changed { id; slot; before; after } ->
+      Format.fprintf ppf "~ object %d children[%d]: %d -> %d" id slot before
+        after
+  | Class_changed { id; before; after } ->
+      Format.fprintf ppf "~ object %d class: %d -> %d" id before after
+
+let accumulate schema segs =
+  let table = Restore.empty_table () in
+  List.iter (Restore.apply_segment schema table) segs;
+  table
+
+let segments schema ~before ~after =
+  let tb = accumulate schema before and ta = accumulate schema after in
+  let changes = ref [] in
+  let add c = changes := c :: !changes in
+  Restore.iter_table tb (fun id (r_before : Restore.record) ->
+      match Restore.find_table ta id with
+      | None -> add (Removed id)
+      | Some r_after ->
+          if r_before.Restore.rec_kid <> r_after.Restore.rec_kid then
+            add
+              (Class_changed
+                 { id; before = r_before.Restore.rec_kid;
+                   after = r_after.Restore.rec_kid })
+          else begin
+            Array.iteri
+              (fun slot v ->
+                let v' = r_after.Restore.rec_ints.(slot) in
+                if v <> v' then
+                  add (Int_changed { id; slot; before = v; after = v' }))
+              r_before.Restore.rec_ints;
+            Array.iteri
+              (fun slot v ->
+                let v' = r_after.Restore.rec_child_ids.(slot) in
+                if v <> v' then
+                  add (Child_changed { id; slot; before = v; after = v' }))
+              r_before.Restore.rec_child_ids
+          end);
+  Restore.iter_table ta (fun id _ ->
+      if Option.is_none (Restore.find_table tb id) then add (Added id));
+  let key = function
+    | Added id | Removed id -> (id, -1)
+    | Class_changed { id; _ } -> (id, -2)
+    | Int_changed { id; slot; _ } -> (id, slot)
+    | Child_changed { id; slot; _ } -> (id, 1000 + slot)
+  in
+  List.sort (fun a b -> compare (key a) (key b)) !changes
+
+let chains a b =
+  let schema = Chain.schema a in
+  segments schema ~before:(Chain.segments a) ~after:(Chain.segments b)
+
+let summary changes =
+  let added = ref 0 and removed = ref 0 in
+  let touched = Hashtbl.create 16 in
+  List.iter
+    (function
+      | Added _ -> incr added
+      | Removed _ -> incr removed
+      | Int_changed { id; _ } | Child_changed { id; _ } | Class_changed { id; _ }
+        ->
+          Hashtbl.replace touched id ())
+    changes;
+  Printf.sprintf "%d added, %d removed, %d objects changed" !added !removed
+    (Hashtbl.length touched)

@@ -1,0 +1,95 @@
+open Ickpt_runtime
+open Ickpt_stream
+
+type sink = Sync | Async of Async_writer.t
+
+type t = {
+  schema : Schema.t;
+  path : string;
+  policy : Policy.t;
+  compact_above : int;
+  chain : Chain.t;
+  mutable sink : sink;
+  mutable closed : bool;
+}
+
+let create ?(policy = Policy.Incremental_after_base) ?(async = false)
+    ?(compact_above = 0) schema ~path =
+  let chain, _torn = Storage.load_chain schema ~path in
+  let sink =
+    if async then Async (Async_writer.create ~path ()) else Sync
+  in
+  { schema; path; policy; compact_above; chain; sink; closed = false }
+
+let chain t = t.chain
+
+let segments_on_disk t = Chain.length t.chain
+
+let persist t seg =
+  match t.sink with
+  | Sync -> Storage.append ~path:t.path seg
+  | Async w -> Async_writer.enqueue w seg
+
+let flush t =
+  match t.sink with Sync -> () | Async w -> Async_writer.flush w
+
+let compact_now t =
+  flush t;
+  Chain.compact t.chain;
+  (* Rewrite the log to the single compacted segment. The async writer (if
+     any) is recreated so its file offset agrees with the truncation. *)
+  (match t.sink with
+  | Sync -> ()
+  | Async w -> Async_writer.close w);
+  Storage.write_chain ~path:t.path t.chain;
+  match t.sink with
+  | Sync -> ()
+  | Async _ -> t.sink <- Async (Async_writer.create ~path:t.path ())
+
+let maybe_compact t =
+  if t.compact_above > 0 && Chain.length t.chain > t.compact_above then
+    compact_now t
+
+let check_open t = if t.closed then failwith "Manager: closed"
+
+let checkpoint t roots =
+  check_open t;
+  let taken =
+    match Policy.decide t.policy t.chain with
+    | Segment.Full -> Chain.take_full t.chain roots
+    | Segment.Incremental -> Chain.take_incremental t.chain roots
+  in
+  persist t taken.Chain.segment;
+  maybe_compact t;
+  taken
+
+let checkpoint_with t roots ~body =
+  check_open t;
+  let seg =
+    match Policy.decide t.policy t.chain with
+    | Segment.Full -> (Chain.take_full t.chain roots).Chain.segment
+    | Segment.Incremental ->
+        let d = Out_stream.create () in
+        body d roots;
+        let seg =
+          { Segment.kind = Segment.Incremental;
+            seq = Chain.next_seq t.chain;
+            roots = List.map (fun o -> o.Model.info.Model.id) roots;
+            body = Out_stream.contents d }
+        in
+        Chain.append t.chain seg;
+        seg
+  in
+  persist t seg;
+  maybe_compact t;
+  seg
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    match t.sink with Sync -> () | Async w -> Async_writer.close w
+  end
+
+let recover_latest schema ~path =
+  let chain, _torn = Storage.load_chain schema ~path in
+  Chain.recover chain

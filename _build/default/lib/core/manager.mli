@@ -1,0 +1,55 @@
+(** The checkpoint manager: the one-stop production API tying together the
+    policy (full vs incremental), the chain, stable storage (synchronous or
+    asynchronous write-out) and compaction. Applications that don't need
+    the individual pieces use this.
+
+    Typical lifecycle:
+    {[
+      let m = Manager.create ~policy:(Policy.Full_every 16) ~async:true
+                schema ~path:"app.ckpt" in
+      ... Manager.checkpoint m roots ... (* once per application epoch *)
+      Manager.close m
+      (* after a crash: *)
+      match Manager.recover_latest schema ~path:"app.ckpt" with ...
+    ]} *)
+
+open Ickpt_runtime
+
+type t
+
+val create :
+  ?policy:Policy.t -> ?async:bool -> ?compact_above:int ->
+  Schema.t -> path:string -> t
+(** Defaults: [policy = Incremental_after_base], [async = false] (each
+    checkpoint is on disk when [checkpoint] returns), [compact_above = 0]
+    meaning never auto-compact; a positive value compacts the on-disk chain
+    whenever it exceeds that many segments. If [path] already holds a valid
+    chain prefix, the manager resumes its sequence numbering from it. *)
+
+val checkpoint : t -> Model.obj list -> Chain.taken
+(** Take a checkpoint of the roots using the policy-selected kind and
+    persist it (or queue it for write-out when async). *)
+
+val checkpoint_with :
+  t -> Model.obj list ->
+  body:(Ickpt_stream.Out_stream.t -> Model.obj list -> unit) -> Segment.t
+(** Like {!checkpoint} but the caller supplies the body producer — the hook
+    for specialized checkpointing routines. The segment is always
+    incremental-kind unless the policy demands a full one, in which case
+    the generic full checkpointer is used instead of [body]. *)
+
+val chain : t -> Chain.t
+
+val segments_on_disk : t -> int
+
+val flush : t -> unit
+(** Wait for queued segments to hit the disk (no-op when synchronous). *)
+
+val compact_now : t -> unit
+(** Recover, rewrite as one full segment, truncate the log to it. *)
+
+val close : t -> unit
+
+val recover_latest :
+  Schema.t -> path:string -> (Heap.t * Model.obj list, string) result
+(** Static recovery entry point: load the log's intact prefix and recover. *)

@@ -1,0 +1,21 @@
+(** Checkpoint-kind policies: when an application checkpoints repeatedly
+    (e.g. once per analysis iteration, Section 4.2 of the paper), the policy
+    decides whether the next checkpoint is full or incremental. *)
+
+type t =
+  | Always_full  (** the paper's "full checkpointing" baseline *)
+  | Incremental_after_base
+      (** one full checkpoint, then incrementals forever (the paper's
+          incremental mode) *)
+  | Full_every of int
+      (** a full checkpoint every [n] checkpoints, incrementals between —
+          bounds chain length and recovery time *)
+  | Chain_bytes_limit of int
+      (** take a full checkpoint whenever the accumulated incremental bytes
+          since the last full exceed the limit *)
+
+val pp : Format.formatter -> t -> unit
+
+val decide : t -> Chain.t -> Segment.kind
+(** The kind the next checkpoint should use, given the chain so far.
+    Always [Full] on an empty chain, whatever the policy. *)

@@ -1,0 +1,92 @@
+open Ickpt_runtime
+open Ickpt_stream
+
+exception Error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+type record = {
+  rec_id : int;
+  rec_kid : int;
+  rec_ints : int array;
+  rec_child_ids : int array;
+}
+
+let read_record schema inp =
+  let rec_id = In_stream.read_int inp in
+  let rec_kid = In_stream.read_int inp in
+  let klass =
+    match Schema.find schema rec_kid with
+    | k -> k
+    | exception Not_found -> error "unknown class id %d in record %d" rec_kid rec_id
+  in
+  let rec_ints =
+    Array.init klass.Model.n_ints (fun _ -> In_stream.read_int inp)
+  in
+  let rec_child_ids =
+    Array.init klass.Model.n_children (fun _ -> In_stream.read_int inp)
+  in
+  { rec_id; rec_kid; rec_ints; rec_child_ids }
+
+let records_of_body schema body =
+  let inp = In_stream.of_string body in
+  let rec go acc =
+    if In_stream.at_end inp then List.rev acc
+    else go (read_record schema inp :: acc)
+  in
+  go []
+
+type table = (int, record) Hashtbl.t
+
+let empty_table () : table = Hashtbl.create 1024
+
+let apply_segment schema (table : table) seg =
+  let inp = In_stream.of_string seg.Segment.body in
+  while not (In_stream.at_end inp) do
+    let r = read_record schema inp in
+    Hashtbl.replace table r.rec_id r
+  done
+
+let table_size = Hashtbl.length
+
+let iter_table (table : table) f = Hashtbl.iter f table
+
+let find_table (table : table) id = Hashtbl.find_opt table id
+
+let materialize schema (table : table) ~roots =
+  let heap = Heap.create schema in
+  (* Pass 1: allocate every recorded object. *)
+  Hashtbl.iter
+    (fun _ r ->
+      let klass = Schema.find schema r.rec_kid in
+      let o = Heap.alloc_with_id heap klass ~id:r.rec_id ~modified:false in
+      Array.blit r.rec_ints 0 o.Model.ints 0 (Array.length r.rec_ints))
+    table;
+  (* Pass 2: patch child pointers. *)
+  Hashtbl.iter
+    (fun _ r ->
+      let o = Heap.find_exn heap r.rec_id in
+      Array.iteri
+        (fun j cid ->
+          if cid <> Model.null_id then
+            match Heap.find heap cid with
+            | Some c -> o.Model.children.(j) <- Some c
+            | None ->
+                error "object %d references missing child %d (slot %d)"
+                  r.rec_id cid j)
+        r.rec_child_ids)
+    table;
+  let root_objs =
+    List.map
+      (fun id ->
+        match Heap.find heap id with
+        | Some o -> o
+        | None -> error "root object %d not present in checkpoint" id)
+      roots
+  in
+  (heap, root_objs)
+
+let of_segments schema segments ~roots =
+  let table = empty_table () in
+  List.iter (apply_segment schema table) segments;
+  materialize schema table ~roots

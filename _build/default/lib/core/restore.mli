@@ -1,0 +1,52 @@
+(** Restoration: rebuilding a heap from checkpoint segments.
+
+    A segment body is a sequence of object records (id, class id, scalar
+    fields, child ids). Restoration proceeds in two steps:
+
+    + {e accumulate}: fold segments oldest-to-newest into an id → record
+      table; a later record for the same id supersedes the earlier one
+      (records are complete local states, so replacement is exact);
+    + {e materialize}: allocate every object with its recorded id and class,
+      then patch child pointers by id.
+
+    Restored objects come back with a clear [modified] flag — their state is
+    exactly the checkpointed one. *)
+
+open Ickpt_runtime
+
+exception Error of string
+(** Semantic restoration failure (unknown class id, dangling child id,
+    missing root, record arity mismatch). Framing-level corruption raises
+    {!Ickpt_stream.In_stream.Corrupt} instead. *)
+
+type record = {
+  rec_id : int;
+  rec_kid : int;
+  rec_ints : int array;
+  rec_child_ids : int array;  (** {!Model.null_id} for absent children *)
+}
+
+val records_of_body : Schema.t -> string -> record list
+(** Decode a segment body, in write order. *)
+
+type table
+(** Accumulated newest-wins record table. *)
+
+val empty_table : unit -> table
+
+val apply_segment : Schema.t -> table -> Segment.t -> unit
+
+val table_size : table -> int
+
+val iter_table : table -> (int -> record -> unit) -> unit
+(** Visit every accumulated record (unspecified order). *)
+
+val find_table : table -> int -> record option
+
+val materialize : Schema.t -> table -> roots:int list -> Heap.t * Model.obj list
+(** Build the heap and return the root objects in the order of [roots].
+    @raise Error on dangling references or missing roots. *)
+
+val of_segments : Schema.t -> Segment.t list -> roots:int list -> Heap.t * Model.obj list
+(** Convenience: {!apply_segment} over the list (oldest first), then
+    {!materialize}. *)

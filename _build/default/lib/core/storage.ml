@@ -1,0 +1,47 @@
+type load_result = {
+  segments : Segment.t list;
+  torn_tail : bool;
+  bytes_read : int;
+}
+
+let append ~path seg =
+  let oc =
+    open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path
+  in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Segment.encode seg))
+
+let write_chain ~path chain =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      List.iter
+        (fun seg -> output_string oc (Segment.encode seg))
+        (Chain.segments chain))
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load ~path =
+  let data = if Sys.file_exists path then read_file path else "" in
+  let rec go acc pos =
+    if pos >= String.length data then
+      { segments = List.rev acc; torn_tail = false; bytes_read = pos }
+    else
+      match Segment.decode data ~pos with
+      | seg, next -> go (seg :: acc) next
+      | exception Ickpt_stream.In_stream.Corrupt _ ->
+          { segments = List.rev acc; torn_tail = true; bytes_read = pos }
+  in
+  go [] 0
+
+let load_chain schema ~path =
+  let { segments; torn_tail; _ } = load ~path in
+  let chain = Chain.create schema in
+  List.iter (Chain.append chain) segments;
+  (chain, torn_tail)

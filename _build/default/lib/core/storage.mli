@@ -1,0 +1,29 @@
+(** Stable storage for checkpoint chains: an append-only log file of encoded
+    segments. The paper writes checkpoints "from the output stream to stable
+    storage asynchronously"; here the construction cost (what the paper
+    measures) is separated from the write-out, and recovery tolerates a torn
+    final segment — the normal outcome of a crash mid-write. *)
+
+type load_result = {
+  segments : Segment.t list;  (** oldest first, every fully intact segment *)
+  torn_tail : bool;  (** true when trailing bytes failed to decode *)
+  bytes_read : int;
+}
+
+val append : path:string -> Segment.t -> unit
+(** Append one encoded segment to the log, creating the file if needed. *)
+
+val write_chain : path:string -> Chain.t -> unit
+(** Truncate and write out every segment of the chain. *)
+
+val load : path:string -> load_result
+(** Read back every decodable segment. A corrupt or truncated tail sets
+    [torn_tail] instead of raising; corruption {e before} the tail also
+    stops the scan there (later segments are unreachable without framing
+    resync, which we deliberately do not attempt). *)
+
+val load_chain : Ickpt_runtime.Schema.t -> path:string -> Chain.t * bool
+(** Rebuild a {!Chain.t} from the intact prefix of the log. Incremental
+    segments that precede the first full segment (possible when the log
+    was pruned externally) are rejected as {!Chain.Invalid}. Returns the
+    chain and the [torn_tail] flag. *)

@@ -1,0 +1,1 @@
+lib/experiments/ablation_guard.ml: Backend Format Ickpt_backend Ickpt_harness Ickpt_synth Jspec List Printf Synth Table Workload

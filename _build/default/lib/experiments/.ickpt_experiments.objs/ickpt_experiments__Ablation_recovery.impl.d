@@ -1,0 +1,1 @@
+lib/experiments/ablation_recovery.ml: Clock Format Ickpt_core Ickpt_harness Ickpt_synth List Printf Synth Table Workload

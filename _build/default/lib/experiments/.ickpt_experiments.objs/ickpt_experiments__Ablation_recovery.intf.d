@@ -1,0 +1,1 @@
+lib/experiments/ablation_recovery.mli: Format Workload

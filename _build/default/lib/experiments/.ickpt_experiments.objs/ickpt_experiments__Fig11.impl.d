@@ -1,0 +1,1 @@
+lib/experiments/fig11.ml: Backend Format Ickpt_backend Ickpt_harness Ickpt_synth List Printf Table Workload

@@ -1,0 +1,1 @@
+lib/experiments/fig7.ml: Format Ickpt_harness List Printf Table Workload

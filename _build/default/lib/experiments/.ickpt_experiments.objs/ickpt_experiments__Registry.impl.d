@@ -1,0 +1,1 @@
+lib/experiments/registry.ml: Ablation_guard Ablation_recovery Fig10 Fig11 Fig7 Fig8 Fig9 Format List Table1 Table2 Workload

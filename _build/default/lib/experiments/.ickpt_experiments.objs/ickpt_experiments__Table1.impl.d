@@ -1,0 +1,1 @@
+lib/experiments/table1.ml: Attrs Clock Engine Format Hashtbl Ickpt_analysis Ickpt_core Ickpt_harness Ickpt_stream Jspec List Minic Printf Table Workload

@@ -1,0 +1,1 @@
+lib/experiments/table2.ml: Backend Format Hashtbl Ickpt_backend Ickpt_harness Ickpt_synth List Printf Table Workload

@@ -1,0 +1,1 @@
+lib/experiments/workload.ml: Clock Format Ickpt_backend Ickpt_core Ickpt_harness Ickpt_stream Ickpt_synth Jspec List Synth

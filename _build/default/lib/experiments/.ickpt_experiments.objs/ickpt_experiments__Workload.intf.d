@@ -1,0 +1,1 @@
+lib/experiments/workload.mli: Format Ickpt_backend Ickpt_runtime Ickpt_stream Ickpt_synth Jspec Synth

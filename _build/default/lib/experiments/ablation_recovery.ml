@@ -1,0 +1,75 @@
+(* Extension (not in the paper): recovery-time ablation. The paper takes
+   checkpoints but never measures coming back. This experiment measures
+   recovery time as the incremental chain grows, and the effect of
+   compaction — the operational trade-off behind the Full_every /
+   Chain_bytes_limit policies. *)
+
+open Ickpt_harness
+open Ickpt_synth
+
+let name = "recovery"
+
+let title = "Ablation (extension): recovery time vs chain length"
+
+let run ~scale ppf =
+  let cfg =
+    { Synth.default_config with
+      Synth.n_structures = max 20 (Workload.structures scale / 10);
+      list_len = 5;
+      n_int_fields = 10;
+      pct_modified = 25 }
+  in
+  let table =
+    Table.create ~title
+      ~columns:
+        [ "chain length"; "chain bytes"; "recovery"; "after compaction" ]
+  in
+  let t = Synth.build cfg in
+  let chain = Ickpt_core.Chain.create t.Synth.schema in
+  ignore (Ickpt_core.Chain.take_full chain (Synth.roots t));
+  let recover_time c =
+    let (result : (_, _) result), s =
+      Clock.best_of ~repeats:3 (fun () -> Ickpt_core.Chain.recover c)
+    in
+    (match result with Ok _ -> () | Error e -> failwith e);
+    s
+  in
+  let points = [ 1; 4; 16; 64 ] in
+  let rows = ref [] in
+  let upto = ref 1 in
+  List.iter
+    (fun target ->
+      while !upto < target do
+        ignore (Synth.mutate_round t);
+        ignore (Ickpt_core.Chain.take_incremental chain (Synth.roots t));
+        incr upto
+      done;
+      let uncompacted = recover_time chain in
+      (* Compaction on a copy: rebuild a compacted chain from the same
+         segments and time its recovery. *)
+      let copy = Ickpt_core.Chain.create t.Synth.schema in
+      List.iter (Ickpt_core.Chain.append copy) (Ickpt_core.Chain.segments chain);
+      Ickpt_core.Chain.compact copy;
+      let compacted = recover_time copy in
+      rows := (target, uncompacted, compacted) :: !rows;
+      Table.add_row table
+        [ string_of_int (Ickpt_core.Chain.length chain);
+          Table.cell_bytes (Ickpt_core.Chain.total_bytes chain);
+          Table.cell_seconds uncompacted;
+          Table.cell_seconds compacted ])
+    points;
+  Format.fprintf ppf "%a@." Table.pp table;
+  let assoc k = List.find (fun (t, _, _) -> t = k) !rows in
+  let _, long_un, long_c = assoc 64 in
+  let _, short_un, _ = assoc 1 in
+  let open Workload in
+  [ check ~label:"recovery: longer chains recover slower"
+      ~ok:(long_un > short_un)
+      ~detail:
+        (Printf.sprintf "64 segments %s vs 1 segment %s"
+           (Table.cell_seconds long_un) (Table.cell_seconds short_un));
+    check ~label:"recovery: compaction caps recovery time"
+      ~ok:(long_c < long_un)
+      ~detail:
+        (Printf.sprintf "compacted %s vs chain %s" (Table.cell_seconds long_c)
+           (Table.cell_seconds long_un)) ]

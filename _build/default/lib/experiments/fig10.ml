@@ -1,0 +1,75 @@
+(* Figure 10: specialization w.r.t. structure plus the positions at which a
+   modified object may occur — here, only the last element of each
+   modifiable list. Eliminated tests scale with list length, so this is the
+   configuration with the largest wins. Paper shape: 5x to 15x. *)
+
+open Ickpt_harness
+open Ickpt_backend
+
+let name = "fig10"
+
+let title = "Figure 10: specialization w.r.t. structure + last-element-only"
+
+let run ~scale ppf =
+  let table =
+    Table.create ~title
+      ~columns:
+        [ "len"; "ints"; "mod lists"; "%mod"; "generic"; "specialized";
+          "speedup" ]
+  in
+  let results = ref [] in
+  List.iter
+    (fun list_len ->
+      List.iter
+        (fun n_int_fields ->
+          List.iter
+            (fun modified_lists ->
+              List.iter
+                (fun pct ->
+                  let cfg =
+                    Workload.config ~scale ~list_len ~n_int_fields ~pct
+                      ~modified_lists ~last_only:true
+                  in
+                  let generic, spec, speedup =
+                    Workload.compare_runners cfg
+                      ~baseline:(fun _ -> Backend.native.Backend.run_generic)
+                      ~subject:(fun t ->
+                        Workload.specialized Backend.native
+                          (Ickpt_synth.Synth.shape_last_only t))
+                  in
+                  results :=
+                    ((list_len, n_int_fields, modified_lists, pct), speedup)
+                    :: !results;
+                  Table.add_row table
+                    [ string_of_int list_len;
+                      string_of_int n_int_fields;
+                      string_of_int modified_lists;
+                      string_of_int pct;
+                      Table.cell_seconds generic.Workload.seconds;
+                      Table.cell_seconds spec.Workload.seconds;
+                      Table.cell_speedup speedup ])
+                [ 100; 50; 25 ])
+            [ 1; 3; 5 ])
+        [ 1; 10 ])
+    [ 1; 5 ];
+  Format.fprintf ppf "%a@." Table.pp table;
+  let sp key = List.assoc key !results in
+  let open Workload in
+  let len5 =
+    List.filter_map
+      (fun ((l, _, _, _), s) -> if l = 5 then Some s else None)
+      !results
+  in
+  [ check ~label:"fig10: long lists reach large speedups (paper: 5-15x)"
+      ~ok:(List.fold_left max 0.0 len5 >= 5.0)
+      ~detail:
+        (Printf.sprintf "max len-5 speedup %.2fx" (List.fold_left max 0.0 len5));
+    check ~label:"fig10: position knowledge beats list knowledge (len 5)"
+      ~ok:(sp (5, 1, 5, 100) > 1.5)
+      ~detail:
+        (Printf.sprintf "all-lists last-only speedup %.2fx" (sp (5, 1, 5, 100)));
+    check ~label:"fig10: fewer modifiable lists => bigger speedup"
+      ~ok:(sp (5, 10, 1, 100) >= sp (5, 10, 5, 100) *. 0.9)
+      ~detail:
+        (Printf.sprintf "1:%.2fx 5:%.2fx" (sp (5, 10, 1, 100))
+           (sp (5, 10, 5, 100))) ]

@@ -1,0 +1,64 @@
+(* Figure 7: incremental vs full checkpointing (compiled environment).
+   Axes: list length {1,5} x ints/element {1,10} x %modified {100,50,25}.
+   Paper shape: speedup grows as the fraction of modified objects falls and
+   as the recording cost per object rises; >3x at 25% modified. *)
+
+open Ickpt_harness
+
+let name = "fig7"
+
+let title = "Figure 7: incremental vs full checkpointing"
+
+let run ~scale ppf =
+  let table =
+    Table.create ~title
+      ~columns:
+        [ "len"; "ints"; "%mod"; "full"; "incremental"; "incr bytes";
+          "full bytes"; "speedup" ]
+  in
+  let results = ref [] in
+  List.iter
+    (fun list_len ->
+      List.iter
+        (fun n_int_fields ->
+          List.iter
+            (fun pct ->
+              let cfg =
+                Workload.config ~scale ~list_len ~n_int_fields ~pct
+                  ~modified_lists:5 ~last_only:false
+              in
+              let full, incr, speedup =
+                Workload.compare_runners cfg
+                  ~baseline:(fun _ -> Workload.full_core)
+                  ~subject:(fun _ -> Workload.generic_core)
+              in
+              results := ((list_len, n_int_fields, pct), speedup) :: !results;
+              Table.add_row table
+                [ string_of_int list_len;
+                  string_of_int n_int_fields;
+                  string_of_int pct;
+                  Table.cell_seconds full.Workload.seconds;
+                  Table.cell_seconds incr.Workload.seconds;
+                  Table.cell_bytes incr.Workload.bytes;
+                  Table.cell_bytes full.Workload.bytes;
+                  Table.cell_speedup speedup ])
+            [ 100; 50; 25 ])
+        [ 1; 10 ])
+    [ 1; 5 ];
+  Format.fprintf ppf "%a@." Table.pp table;
+  let sp key = List.assoc key !results in
+  let open Workload in
+  [ check ~label:"fig7: fewer modifications => bigger speedup (len 5, 10 ints)"
+      ~ok:(sp (5, 10, 25) > sp (5, 10, 100))
+      ~detail:
+        (Printf.sprintf "25%%: %.2fx vs 100%%: %.2fx" (sp (5, 10, 25))
+           (sp (5, 10, 100)));
+    check ~label:"fig7: >2x when only 25% modified"
+      ~ok:(sp (5, 10, 25) > 2.0 || sp (1, 10, 25) > 2.0)
+      ~detail:
+        (Printf.sprintf "len5: %.2fx, len1: %.2fx" (sp (5, 10, 25))
+           (sp (1, 10, 25)));
+    check ~label:"fig7: negligible overhead when all modified"
+      ~ok:(sp (5, 10, 100) > 0.7)
+      ~detail:(Printf.sprintf "100%% modified speedup %.2fx" (sp (5, 10, 100)))
+  ]

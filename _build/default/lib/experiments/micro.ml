@@ -1,0 +1,115 @@
+open Bechamel
+open Ickpt_synth
+open Ickpt_backend
+open Ickpt_analysis
+
+(* One compound structure with one dirty element per invocation: the unit
+   of work every figure scales up by population size. *)
+let synth_unit ~last_only =
+  let cfg =
+    { Synth.default_config with
+      Synth.n_structures = 1;
+      list_len = 5;
+      n_int_fields = 10;
+      modified_lists = 1;
+      last_only }
+  in
+  let t = Synth.build cfg in
+  Synth.base_checkpoint t;
+  let root = List.hd (Synth.roots t) in
+  let victim =
+    (* The last element of list 0 — legal under every declaration. *)
+    let rec last (e : Ickpt_runtime.Model.obj) =
+      match e.Ickpt_runtime.Model.children.(0) with
+      | None -> e
+      | Some next -> last next
+    in
+    match root.Ickpt_runtime.Model.children.(0) with
+    | Some head -> last head
+    | None -> assert false
+  in
+  (t, root, victim)
+
+let sink = Ickpt_stream.Out_stream.sink ()
+
+let synth_test ~name ~last_only runner_of =
+  let t, root, victim = synth_unit ~last_only in
+  let runner = runner_of t in
+  Test.make ~name
+    (Staged.stage (fun () ->
+         Ickpt_runtime.Barrier.touch victim;
+         runner sink root))
+
+let attr_test ~name runner_of =
+  let attrs = Attrs.create ~n_stmts:1 in
+  Ickpt_runtime.Heap.clear_all_modified (Attrs.heap attrs);
+  let root = List.hd (Attrs.roots attrs) in
+  let runner = runner_of attrs in
+  Test.make ~name
+    (Staged.stage (fun () ->
+         ignore
+           (Attrs.set_bt attrs 0
+              (1 - Attrs.get_bt attrs 0));
+         runner sink root))
+
+let spec shape = Jspec.Compile.residual (Jspec.Pe.specialize shape)
+
+let tests () =
+  Test.make_grouped ~name:"icheckpoint"
+    [ attr_test ~name:"table1-bta-incremental" (fun _ d o ->
+          Ickpt_core.Checkpointer.incremental d o);
+      attr_test ~name:"table1-bta-specialized" (fun attrs ->
+          spec (Attrs.bta_shape attrs));
+      synth_test ~name:"fig7-full" ~last_only:false (fun _ d o ->
+          Ickpt_core.Checkpointer.full_tree d o);
+      synth_test ~name:"fig7-incremental" ~last_only:false (fun _ d o ->
+          Ickpt_core.Checkpointer.incremental d o);
+      synth_test ~name:"fig8-generic" ~last_only:false (fun _ ->
+          Backend.native.Backend.run_generic);
+      synth_test ~name:"fig8-spec-structure" ~last_only:false (fun t ->
+          spec (Synth.shape_structure t));
+      synth_test ~name:"fig9-spec-modified-lists" ~last_only:false (fun t ->
+          spec (Synth.shape_modified_lists t));
+      synth_test ~name:"fig10-spec-last-only" ~last_only:true (fun t ->
+          spec (Synth.shape_last_only t));
+      synth_test ~name:"fig11a-interp-generic" ~last_only:true (fun _ ->
+          Backend.interp.Backend.run_generic);
+      synth_test ~name:"fig11a-interp-spec" ~last_only:true (fun t ->
+          Backend.interp.Backend.specialize
+            (Jspec.Pe.specialize (Synth.shape_last_only t)));
+      synth_test ~name:"fig11b-ic-generic" ~last_only:true (fun _ ->
+          Backend.inline_cache.Backend.run_generic);
+      synth_test ~name:"fig11b-ic-spec" ~last_only:true (fun t ->
+          Backend.inline_cache.Backend.specialize
+            (Jspec.Pe.specialize (Synth.shape_last_only t)));
+      synth_test ~name:"table2-native-generic" ~last_only:false (fun _ ->
+          Backend.native.Backend.run_generic);
+      synth_test ~name:"table2-native-spec" ~last_only:false (fun t ->
+          spec (Synth.shape_modified_lists t)) ]
+
+let run ppf =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~stabilize:true ()
+  in
+  let raw = Benchmark.all cfg [ instance ] (tests ()) in
+  let results = Analyze.all ols instance raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let ns =
+          match Analyze.OLS.estimates ols with
+          | Some (x :: _) -> x
+          | _ -> nan
+        in
+        (name, ns) :: acc)
+      results []
+    |> List.sort compare
+  in
+  Format.fprintf ppf "@.== Bechamel micro-benchmarks (ns per unit) ==@.";
+  List.iter
+    (fun (name, ns) -> Format.fprintf ppf "%-42s %12.1f ns@." name ns)
+    rows

@@ -1,0 +1,11 @@
+(** Statistically-sampled micro-benchmarks (Bechamel): one test per paper
+    table/figure, each measuring the steady-state unit of work of that
+    experiment (one structure or one attribute checkpoint) so that OLS
+    regression over thousands of iterations gives noise-free per-unit
+    costs complementing the wall-clock experiment tables. *)
+
+val tests : unit -> Bechamel.Test.t
+(** The grouped test suite. *)
+
+val run : Format.formatter -> unit
+(** Benchmark {!tests} and print the per-run OLS estimates. *)

@@ -1,0 +1,20 @@
+(** The experiment registry: every table and figure of the paper's
+    evaluation, runnable by name. *)
+
+type experiment = {
+  name : string;  (** e.g. "table1", "fig7" *)
+  title : string;
+  run : scale:Workload.scale -> Format.formatter -> Workload.check list;
+}
+
+val all : experiment list
+(** In paper order — table1, fig7, fig8, fig9, fig10, fig11, table2 —
+    followed by the extension ablations "recovery" and "guards". *)
+
+val find : string -> experiment option
+
+val run_all :
+  ?names:string list -> scale:Workload.scale -> Format.formatter ->
+  (string * Workload.check list) list
+(** Run the selected experiments (all by default), printing each table as
+    it completes, and return the shape-check results per experiment. *)

@@ -1,0 +1,174 @@
+(* Table 1: the program analysis engine (paper Section 4.3). Checkpoint
+   size and construction time for the binding-time and evaluation-time
+   analysis phases, under full / incremental / specialized-incremental
+   checkpointing, plus the pure traversal time that bounds what
+   specialization can save. Paper shape: the checkpoint-size spread between
+   the first and last iteration is what incremental checkpointing exploits;
+   specialization gives ~1.3-1.5x on construction and ~1.8-2x on
+   traversal. *)
+
+open Ickpt_analysis
+open Ickpt_harness
+
+let name = "table1"
+
+let title = "Table 1: program analysis engine (BTA / ETA phases)"
+
+let repeats = 7
+
+(* Steady-state measurement on converged analysis state: each repetition
+   re-dirties every annotation of the phase (the paper's max-checkpoint
+   case, like a first iteration) and times one checkpoint of all the
+   attribute roots. *)
+let measure_ckp attrs ~dirty runner =
+  let roots = Attrs.roots attrs in
+  let bytes = ref 0 in
+  let best = ref infinity in
+  for rep = 1 to repeats do
+    dirty ();
+    let d =
+      if rep = 1 then Ickpt_stream.Out_stream.create ()
+      else Ickpt_stream.Out_stream.sink ()
+    in
+    let (), s = Clock.time (fun () -> List.iter (fun r -> runner d r) roots) in
+    if rep = 1 then bytes := Ickpt_stream.Out_stream.size d;
+    if s < !best then best := s
+  done;
+  (!bytes, !best)
+
+(* Pure traversal: the heap is clean, so the runner tests and walks but
+   records nothing. *)
+let measure_traversal attrs runner =
+  let roots = Attrs.roots attrs in
+  let best = ref infinity in
+  for _ = 1 to repeats do
+    let d = Ickpt_stream.Out_stream.sink () in
+    let (), s = Clock.time (fun () -> List.iter (fun r -> runner d r) roots) in
+    if s < !best then best := s
+  done;
+  !best
+
+let min_max = function
+  | [] -> (0, 0)
+  | sizes -> (List.fold_left min max_int sizes, List.fold_left max 0 sizes)
+
+let iteration_bytes (p : Engine.phase_report) =
+  List.map (fun (s : Engine.iteration_stat) -> s.Engine.bytes) p.Engine.stats
+
+let run ~scale ppf =
+  ignore scale;
+  let program = Minic.Gen.image_program () in
+  Format.fprintf ppf
+    "analyzed program: %d lines, %d statements; BTA >= 9 iterations, ETA >= 3@."
+    (Minic.Pp.line_count program)
+    (Minic.Ast.stmt_count program);
+
+  (* Dynamics: per-iteration checkpoint sizes in the three modes. *)
+  let reports =
+    List.map
+      (fun mode -> Engine.analyze ~mode ~bta_min:9 ~eta_min:3 program)
+      Engine.[ Full; Incremental; Specialized ]
+  in
+  let r_full, r_incr, r_spec =
+    match reports with [ a; b; c ] -> (a, b, c) | _ -> assert false
+  in
+  let phase (r : Engine.report) n = List.nth r.Engine.phases n in
+  let size_table =
+    Table.create ~title:(title ^ " — checkpoint sizes")
+      ~columns:[ "phase"; "method"; "min ckp"; "max ckp"; "total" ]
+  in
+  List.iteri
+    (fun i phase_name ->
+      List.iter
+        (fun (label, r) ->
+          let sizes = iteration_bytes (phase r (i + 1)) in
+          let mn, mx = min_max sizes in
+          Table.add_row size_table
+            [ phase_name; label; Table.cell_bytes mn; Table.cell_bytes mx;
+              Table.cell_bytes (List.fold_left ( + ) 0 sizes) ])
+        [ ("full", r_full); ("incremental", r_incr); ("specialized", r_spec) ])
+    [ "bta"; "eta" ];
+  Format.fprintf ppf "%a@." Table.pp size_table;
+
+  (* Steady-state timing on the converged incremental report's heap. *)
+  let attrs = r_incr.Engine.attrs in
+  let n = Attrs.n_stmts attrs in
+  let flip_bt () =
+    for sid = 0 to n - 1 do
+      ignore
+        (Attrs.set_bt attrs sid
+           (if Attrs.get_bt attrs sid = Attrs.bt_static then Attrs.bt_dynamic
+            else Attrs.bt_static))
+    done
+  in
+  let flip_et () =
+    for sid = 0 to n - 1 do
+      ignore
+        (Attrs.set_et attrs sid
+           (if Attrs.get_et attrs sid = Attrs.et_spec_time then
+              Attrs.et_run_time
+            else Attrs.et_spec_time))
+    done
+  in
+  let spec_runner shape = Jspec.Compile.residual (Jspec.Pe.specialize shape) in
+  let full d o = Ickpt_core.Checkpointer.full_tree d o in
+  let incr d o = Ickpt_core.Checkpointer.incremental d o in
+  let time_table =
+    Table.create ~title:(title ^ " — construction & traversal time")
+      ~columns:
+        [ "phase"; "method"; "ckp bytes"; "ckp time"; "traversal" ]
+  in
+  let results = Hashtbl.create 16 in
+  let measure_phase phase_name dirty shape =
+    let srunner = spec_runner shape in
+    List.iter
+      (fun (label, runner) ->
+        let bytes, s = measure_ckp attrs ~dirty runner in
+        let trav = measure_traversal attrs runner in
+        Hashtbl.replace results (phase_name, label) (bytes, s, trav);
+        Table.add_row time_table
+          [ phase_name; label; Table.cell_bytes bytes; Table.cell_seconds s;
+            Table.cell_seconds trav ])
+      [ ("full", full); ("incremental", incr); ("specialized", srunner) ]
+  in
+  measure_phase "bta" flip_bt (Attrs.bta_shape attrs);
+  measure_phase "eta" flip_et (Attrs.eta_shape attrs);
+  Format.fprintf ppf "%a@." Table.pp time_table;
+
+  let get key = Hashtbl.find results key in
+  let b_full, t_full, _ = get ("bta", "full") in
+  let b_incr, t_incr, trav_incr = get ("bta", "incremental") in
+  let b_spec, t_spec, trav_spec = get ("bta", "specialized") in
+  let _, te_incr, trave_incr = get ("eta", "incremental") in
+  let _, te_spec, trave_spec = get ("eta", "specialized") in
+  let bytes_eq =
+    List.for_all2
+      (fun (a : Engine.phase_report) b ->
+        iteration_bytes a = iteration_bytes b)
+      r_incr.Engine.phases r_spec.Engine.phases
+  in
+  let open Workload in
+  [ check ~label:"table1: specialized checkpoints byte-equal incremental"
+      ~ok:bytes_eq ~detail:"per-iteration sizes identical across all phases";
+    check ~label:"table1: incremental writes less than full"
+      ~ok:(b_incr <= b_full && b_spec = b_incr)
+      ~detail:
+        (Printf.sprintf "full %s vs incremental %s" (Table.cell_bytes b_full)
+           (Table.cell_bytes b_incr));
+    check ~label:"table1: specialization speeds up BTA checkpointing"
+      ~ok:(t_spec < t_incr)
+      ~detail:
+        (Printf.sprintf "incr %s vs spec %s (%.2fx; paper: up to 1.5x; full %s)"
+           (Table.cell_seconds t_incr) (Table.cell_seconds t_spec)
+           (t_incr /. t_spec) (Table.cell_seconds t_full));
+    check ~label:"table1: specialization speeds up ETA checkpointing"
+      ~ok:(te_spec < te_incr)
+      ~detail:
+        (Printf.sprintf "incr %s vs spec %s (%.2fx)"
+           (Table.cell_seconds te_incr) (Table.cell_seconds te_spec)
+           (te_incr /. te_spec));
+    check ~label:"table1: traversal time drops (paper: 1.8-2x)"
+      ~ok:(trav_spec < trav_incr && trave_spec < trave_incr)
+      ~detail:
+        (Printf.sprintf "bta %.2fx, eta %.2fx" (trav_incr /. trav_spec)
+           (trave_incr /. trave_spec)) ]

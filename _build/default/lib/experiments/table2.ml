@@ -1,0 +1,92 @@
+(* Table 2: checkpoint execution time, unspecialized vs specialized (10
+   integers per element, lists of length 5), across the three execution
+   environments, for 1 or 5 possibly-modified lists and 100/50/25% of those
+   actually modified. Paper shape: every environment benefits from
+   specialization; compiled Harissa code is fastest; and unspecialized code
+   under the dynamic compiler can beat specialized code under the plain
+   JIT — specialization and dynamic compilation are complementary. *)
+
+open Ickpt_harness
+open Ickpt_backend
+
+let name = "table2"
+
+let title = "Table 2: execution time across environments (len 5, 10 ints)"
+
+let run ~scale ppf =
+  let table =
+    Table.create ~title
+      ~columns:
+        [ "backend"; "code"; "mod lists"; "100%"; "50%"; "25%" ]
+  in
+  let results = Hashtbl.create 64 in
+  let cell backend ~spec ~modified_lists ~pct =
+    let cfg =
+      Workload.config ~scale ~list_len:5 ~n_int_fields:10 ~pct ~modified_lists
+        ~last_only:false
+    in
+    let t = Ickpt_synth.Synth.build cfg in
+    let runner =
+      if spec then
+        Workload.specialized backend (Ickpt_synth.Synth.shape_modified_lists t)
+      else backend.Backend.run_generic
+    in
+    let m = Workload.measure t runner in
+    Hashtbl.replace results (backend.Backend.name, spec, modified_lists, pct)
+      m.Workload.seconds;
+    m.Workload.seconds
+  in
+  List.iter
+    (fun backend ->
+      List.iter
+        (fun spec ->
+          List.iter
+            (fun modified_lists ->
+              let t100 = cell backend ~spec ~modified_lists ~pct:100 in
+              let t50 = cell backend ~spec ~modified_lists ~pct:50 in
+              let t25 = cell backend ~spec ~modified_lists ~pct:25 in
+              Table.add_row table
+                [ backend.Backend.name;
+                  (if spec then "specialized" else "unspecialized");
+                  string_of_int modified_lists;
+                  Table.cell_seconds t100;
+                  Table.cell_seconds t50;
+                  Table.cell_seconds t25 ])
+            [ 1; 5 ])
+        [ false; true ])
+    Backend.all;
+  Format.fprintf ppf "%a@." Table.pp table;
+  let time key = Hashtbl.find results key in
+  let open Workload in
+  let spec_beats_unspec =
+    List.for_all
+      (fun b ->
+        List.for_all
+          (fun m ->
+            List.for_all
+              (fun p ->
+                time (b.Backend.name, true, m, p)
+                <= time (b.Backend.name, false, m, p) *. 1.05)
+              [ 100; 50; 25 ])
+          [ 1; 5 ])
+      Backend.all
+  in
+  [ check ~label:"table2: specialization never loses"
+      ~ok:spec_beats_unspec ~detail:"specialized <= unspecialized in all cells";
+    check ~label:"table2: compiled code beats interpretation (unspecialized)"
+      ~ok:(time ("native", false, 5, 100) < time ("interp", false, 5, 100))
+      ~detail:
+        (Printf.sprintf "native %s vs interp %s"
+           (Table.cell_seconds (time ("native", false, 5, 100)))
+           (Table.cell_seconds (time ("interp", false, 5, 100))));
+    check
+      ~label:
+        "table2: unspecialized-on-dynamic-compiler can beat \
+         specialized-on-plain-JIT"
+      ~ok:
+        (List.exists
+           (fun (m, p) ->
+             time ("inline-cache", false, m, p) < time ("interp", true, m, p))
+           [ (5, 100); (5, 50); (5, 25); (1, 100) ])
+      ~detail:"crossover found (cf. paper Section 5 discussion of HotSpot)"
+  ]

@@ -1,0 +1,66 @@
+open Ickpt_synth
+open Ickpt_harness
+
+type scale = float
+
+let structures scale = max 50 (int_of_float (20_000.0 *. scale))
+
+let config ~scale ~list_len ~n_int_fields ~pct ~modified_lists ~last_only =
+  { Synth.default_config with
+    Synth.n_structures = structures scale;
+    list_len;
+    n_int_fields;
+    pct_modified = pct;
+    modified_lists;
+    last_only }
+
+type measured = { bytes : int; seconds : float }
+
+let measure ?(repeats = 3) t runner =
+  let roots = Synth.roots t in
+  Synth.base_checkpoint t;
+  let bytes = ref 0 in
+  let best = ref infinity in
+  for rep = 1 to repeats do
+    ignore (Synth.mutate_round t);
+    let d =
+      if rep = 1 then Ickpt_stream.Out_stream.create ()
+      else Ickpt_stream.Out_stream.sink ()
+    in
+    let (), s =
+      Clock.time (fun () -> List.iter (fun r -> runner d r) roots)
+    in
+    if rep = 1 then bytes := Ickpt_stream.Out_stream.size d;
+    if s < !best then best := s
+  done;
+  { bytes = !bytes; seconds = !best }
+
+let generic_core d o = Ickpt_core.Checkpointer.incremental d o
+
+let full_core d o = Ickpt_core.Checkpointer.full_tree d o
+
+let specialized backend shape =
+  backend.Ickpt_backend.Backend.specialize (Jspec.Pe.specialize shape)
+
+type check = { label : string; ok : bool; detail : string }
+
+let check ~label ~ok ~detail = { label; ok; detail }
+
+let pp_check ppf c =
+  Format.fprintf ppf "[%s] %s — %s"
+    (if c.ok then "PASS" else "FAIL")
+    c.label c.detail
+
+let pp_checks ppf checks =
+  List.iter (fun c -> Format.fprintf ppf "%a@." pp_check c) checks
+
+let all_ok = List.for_all (fun c -> c.ok)
+
+let compare_runners ?repeats cfg ~baseline ~subject =
+  let run mk =
+    let t = Synth.build cfg in
+    measure ?repeats t (mk t)
+  in
+  let b = run baseline in
+  let s = run subject in
+  (b, s, b.seconds /. s.seconds)

@@ -1,0 +1,64 @@
+(** Shared machinery for the evaluation experiments: scaled workload
+    construction, steady-state measurement, and qualitative shape checks.
+
+    Absolute times depend on the host; what the experiments assert (and
+    what {!check} records) are the paper's {e relationships}: who wins, how
+    speedups move along each axis, where crossovers sit. *)
+
+open Ickpt_synth
+
+type scale = float
+(** 1.0 = the paper's 20,000 structures; the default bench run uses 0.25. *)
+
+val structures : scale -> int
+
+val config :
+  scale:scale -> list_len:int -> n_int_fields:int -> pct:int ->
+  modified_lists:int -> last_only:bool -> Synth.config
+
+type measured = {
+  bytes : int;  (** checkpoint size of the first (recorded) run *)
+  seconds : float;  (** best-of-[repeats] construction time *)
+}
+
+val measure :
+  ?repeats:int -> Synth.t ->
+  (Ickpt_stream.Out_stream.t -> Ickpt_runtime.Model.obj -> unit) -> measured
+(** Steady-state measurement: each repetition applies one mutation round
+    (per the population's configuration) and times a checkpoint of every
+    structure. The first repetition's byte count is reported; subsequent
+    repetitions keep the fastest wall-clock time. Default 3 repetitions. *)
+
+(** {1 Ready-made runners} *)
+
+val generic_core : Ickpt_stream.Out_stream.t -> Ickpt_runtime.Model.obj -> unit
+(** The hand-written generic incremental checkpointer (reference
+    implementation, used for the full-vs-incremental comparison). *)
+
+val full_core : Ickpt_stream.Out_stream.t -> Ickpt_runtime.Model.obj -> unit
+(** Plain full checkpointing ({!Ickpt_core.Checkpointer.full_tree}). *)
+
+val specialized :
+  Ickpt_backend.Backend.t -> Jspec.Sclass.shape ->
+  Ickpt_stream.Out_stream.t -> Ickpt_runtime.Model.obj -> unit
+
+(** {1 Shape checks} *)
+
+type check = { label : string; ok : bool; detail : string }
+
+val check : label:string -> ok:bool -> detail:string -> check
+
+val pp_check : Format.formatter -> check -> unit
+
+val pp_checks : Format.formatter -> check list -> unit
+
+val all_ok : check list -> bool
+
+val compare_runners :
+  ?repeats:int -> Synth.config ->
+  baseline:(Synth.t -> Ickpt_stream.Out_stream.t -> Ickpt_runtime.Model.obj -> unit) ->
+  subject:(Synth.t -> Ickpt_stream.Out_stream.t -> Ickpt_runtime.Model.obj -> unit) ->
+  measured * measured * float
+(** Build two identically-seeded populations (so object ids and mutation
+    sequences coincide), measure each runner on its own population, and
+    return [(baseline, subject, baseline.seconds /. subject.seconds)]. *)

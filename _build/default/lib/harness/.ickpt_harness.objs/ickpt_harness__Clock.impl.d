@@ -1,0 +1,1 @@
+lib/harness/clock.ml: Float Int64 Monotonic_clock

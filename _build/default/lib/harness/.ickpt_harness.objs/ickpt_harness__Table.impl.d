@@ -1,0 +1,1 @@
+lib/harness/table.ml: Format List Printf String

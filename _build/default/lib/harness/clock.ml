@@ -1,0 +1,22 @@
+let now_ns () = Monotonic_clock.now ()
+
+let time_ns f =
+  let t0 = now_ns () in
+  let x = f () in
+  let t1 = now_ns () in
+  (x, Int64.sub t1 t0)
+
+let time f =
+  let x, ns = time_ns f in
+  (x, Int64.to_float ns /. 1e9)
+
+let best_of ?(repeats = 3) f =
+  let rec go best last i =
+    if i >= repeats then (last, best)
+    else
+      let x, s = time f in
+      go (Float.min best s) x (i + 1)
+  in
+  let x0, s0 = time f in
+  let x, best = go s0 x0 1 in
+  (x, best)

@@ -1,0 +1,55 @@
+type t = {
+  title : string;
+  columns : string list;
+  mutable rows : string list list;  (* reverse order *)
+}
+
+let create ~title ~columns = { title; columns; rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.columns then
+    invalid_arg
+      (Printf.sprintf "Table.add_row (%s): %d cells for %d columns" t.title
+         (List.length row) (List.length t.columns));
+  t.rows <- row :: t.rows
+
+let pp ppf t =
+  let rows = List.rev t.rows in
+  let widths =
+    List.mapi
+      (fun i header ->
+        List.fold_left
+          (fun acc row -> max acc (String.length (List.nth row i)))
+          (String.length header) rows)
+      t.columns
+  in
+  let pad s w = s ^ String.make (max 0 (w - String.length s)) ' ' in
+  let hline =
+    String.concat "-+-" (List.map (fun w -> String.make w '-') widths)
+  in
+  Format.fprintf ppf "@[<v>== %s ==@," t.title;
+  Format.fprintf ppf "%s@,"
+    (String.concat " | " (List.map2 pad t.columns widths));
+  Format.fprintf ppf "%s@," hline;
+  List.iter
+    (fun row ->
+      Format.fprintf ppf "%s@," (String.concat " | " (List.map2 pad row widths)))
+    rows;
+  Format.fprintf ppf "@]"
+
+let to_string t = Format.asprintf "%a" pp t
+
+let cell_bytes b =
+  if b >= 1_000_000 then Printf.sprintf "%.2f Mb" (float_of_int b /. 1e6)
+  else if b >= 1_000 then Printf.sprintf "%.1f Kb" (float_of_int b /. 1e3)
+  else Printf.sprintf "%d b" b
+
+let cell_seconds s =
+  if s >= 1.0 then Printf.sprintf "%.2f s" s
+  else if s >= 1e-3 then Printf.sprintf "%.2f ms" (s *. 1e3)
+  else Printf.sprintf "%.1f us" (s *. 1e6)
+
+let cell_speedup x = Printf.sprintf "%.2fx" x
+
+let cell_ratio num den =
+  if den = 0 then "n/a" else Printf.sprintf "%.2f" (float_of_int num /. float_of_int den)

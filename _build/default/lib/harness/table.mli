@@ -1,0 +1,27 @@
+(** Plain-text table and figure rendering for the benchmark harness: the
+    output format mirrors the paper's tables (rows of labelled cells) and
+    figures (series of speedup bars keyed by configuration). *)
+
+type t
+
+val create : title:string -> columns:string list -> t
+
+val add_row : t -> string list -> unit
+(** @raise Invalid_argument when the row width differs from the header. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+(** {1 Cell formatting helpers} *)
+
+val cell_bytes : int -> string
+(** Human-readable size: [12.3 Mb], [4.5 Kb], [321 b]. *)
+
+val cell_seconds : float -> string
+
+val cell_speedup : float -> string
+(** e.g. [3.42x]. *)
+
+val cell_ratio : int -> int -> string
+(** [cell_ratio num den] — e.g. checkpoint size ratio. *)

@@ -1,0 +1,1 @@
+lib/jspec/bta.ml: Array Cklang Format Generic_method Ickpt_runtime List Sclass

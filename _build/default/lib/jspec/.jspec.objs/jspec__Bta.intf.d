@@ -1,0 +1,1 @@
+lib/jspec/bta.mli: Cklang Format Sclass

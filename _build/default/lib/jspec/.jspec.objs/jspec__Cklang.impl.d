@@ -1,0 +1,1 @@
+lib/jspec/cklang.ml: Format List

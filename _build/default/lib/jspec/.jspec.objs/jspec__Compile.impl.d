@@ -1,0 +1,1 @@
+lib/jspec/compile.ml: Array Cklang Format Ickpt_core Ickpt_runtime Ickpt_stream List Model Out_stream Pe

@@ -1,0 +1,1 @@
+lib/jspec/compile.mli: Cklang Ickpt_runtime Ickpt_stream Model Pe

@@ -1,0 +1,1 @@
+lib/jspec/generic_method.ml: Cklang

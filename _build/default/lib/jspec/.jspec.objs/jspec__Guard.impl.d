@@ -1,0 +1,1 @@
+lib/jspec/guard.ml: Array Format Ickpt_runtime List Model Printf Sclass

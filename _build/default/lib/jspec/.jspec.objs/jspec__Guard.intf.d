@@ -1,0 +1,1 @@
+lib/jspec/guard.mli: Format Ickpt_runtime Ickpt_stream Model Sclass

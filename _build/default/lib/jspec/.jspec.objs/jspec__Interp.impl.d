@@ -1,0 +1,1 @@
+lib/jspec/interp.ml: Array Cklang Format Hashtbl Ickpt_core Ickpt_runtime Ickpt_stream List Model Out_stream

@@ -1,0 +1,1 @@
+lib/jspec/interp.mli: Cklang Ickpt_runtime Ickpt_stream Model

@@ -1,0 +1,1 @@
+lib/jspec/java_pp.ml: Cklang Format List Pe String

@@ -1,0 +1,1 @@
+lib/jspec/java_pp.mli: Format Pe

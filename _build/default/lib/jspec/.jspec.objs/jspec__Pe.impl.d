@@ -1,0 +1,1 @@
+lib/jspec/pe.ml: Array Cklang Format Generic_method Ickpt_runtime List Plan_opt Sclass

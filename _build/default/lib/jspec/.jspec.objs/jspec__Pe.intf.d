@@ -1,0 +1,1 @@
+lib/jspec/pe.mli: Cklang Sclass

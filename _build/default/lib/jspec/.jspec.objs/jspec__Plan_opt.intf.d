@@ -1,0 +1,1 @@
+lib/jspec/plan_opt.mli: Cklang

@@ -1,0 +1,1 @@
+lib/jspec/sclass.ml: Array Format Ickpt_runtime Model

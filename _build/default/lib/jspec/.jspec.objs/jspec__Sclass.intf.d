@@ -1,0 +1,1 @@
+lib/jspec/sclass.mli: Format Ickpt_runtime Model

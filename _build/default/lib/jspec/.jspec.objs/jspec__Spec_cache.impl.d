@@ -1,0 +1,1 @@
+lib/jspec/spec_cache.ml: Array Buffer Compile Hashtbl Ickpt_runtime Ickpt_stream Model Pe Sclass

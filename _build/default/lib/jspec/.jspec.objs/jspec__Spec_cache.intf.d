@@ -1,0 +1,1 @@
+lib/jspec/spec_cache.mli: Ickpt_runtime Ickpt_stream Model Pe Sclass

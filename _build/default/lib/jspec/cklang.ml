@@ -1,0 +1,139 @@
+type var = int
+
+type expr =
+  | Const of int
+  | Var of var
+  | Int_field of expr * expr
+  | Child of expr * expr
+  | Id_of of expr
+  | Kid_of of expr
+  | Modified of expr
+  | Is_null of expr
+  | Not of expr
+  | N_ints of expr
+  | N_children of expr
+  | Cond of expr * expr * expr
+
+type meth = M_checkpoint | M_record | M_fold
+
+type stmt =
+  | Write of expr
+  | Reset_modified of expr
+  | If of expr * stmt list * stmt list
+  | Let of var * expr * stmt list
+  | For of var * expr * expr * stmt list
+  | Invoke_virtual of meth * expr
+  | Call of meth * expr
+  | Call_generic of expr
+
+type program = { checkpoint : stmt list; record : stmt list; fold : stmt list }
+
+let method_body p = function
+  | M_checkpoint -> p.checkpoint
+  | M_record -> p.record
+  | M_fold -> p.fold
+
+let pp_meth ppf m =
+  Format.pp_print_string ppf
+    (match m with
+    | M_checkpoint -> "checkpoint"
+    | M_record -> "record"
+    | M_fold -> "fold")
+
+let rec pp_expr ppf = function
+  | Const n -> Format.pp_print_int ppf n
+  | Var v -> Format.fprintf ppf "v%d" v
+  | Int_field (o, i) -> Format.fprintf ppf "%a.ints[%a]" pp_expr o pp_expr i
+  | Child (o, i) -> Format.fprintf ppf "%a.children[%a]" pp_expr o pp_expr i
+  | Id_of o -> Format.fprintf ppf "%a.id" pp_expr o
+  | Kid_of o -> Format.fprintf ppf "%a.kid" pp_expr o
+  | Modified o -> Format.fprintf ppf "%a.modified" pp_expr o
+  | Is_null o -> Format.fprintf ppf "(%a == null)" pp_expr o
+  | Not e -> Format.fprintf ppf "!%a" pp_expr e
+  | N_ints o -> Format.fprintf ppf "%a.n_ints" pp_expr o
+  | N_children o -> Format.fprintf ppf "%a.n_children" pp_expr o
+  | Cond (c, a, b) ->
+      Format.fprintf ppf "(%a ? %a : %a)" pp_expr c pp_expr a pp_expr b
+
+let rec pp_stmt ppf = function
+  | Write e -> Format.fprintf ppf "write(%a);" pp_expr e
+  | Reset_modified e -> Format.fprintf ppf "%a.modified = false;" pp_expr e
+  | If (c, t, []) ->
+      Format.fprintf ppf "@[<v 2>if (%a) {@,%a@]@,}" pp_expr c pp_stmts t
+  | If (c, t, e) ->
+      Format.fprintf ppf "@[<v 2>if (%a) {@,%a@]@,@[<v 2>} else {@,%a@]@,}"
+        pp_expr c pp_stmts t pp_stmts e
+  | Let (v, e, body) ->
+      Format.fprintf ppf "@[<v 2>let v%d = %a in {@,%a@]@,}" v pp_expr e
+        pp_stmts body
+  | For (v, lo, hi, body) ->
+      Format.fprintf ppf "@[<v 2>for (v%d = %a; v%d < %a; v%d++) {@,%a@]@,}" v
+        pp_expr lo v pp_expr hi v pp_stmts body
+  | Invoke_virtual (m, e) ->
+      Format.fprintf ppf "%a.%a(); /* virtual */" pp_expr e pp_meth m
+  | Call (m, e) -> Format.fprintf ppf "%a(%a);" pp_meth m pp_expr e
+  | Call_generic e -> Format.fprintf ppf "checkpoint_generic(%a);" pp_expr e
+
+and pp_stmts ppf stmts =
+  Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_stmt ppf stmts
+
+let pp_program ppf p =
+  let m name body =
+    Format.fprintf ppf "@[<v 2>%s(v0) {@,%a@]@,}@," name pp_stmts body
+  in
+  Format.fprintf ppf "@[<v>";
+  m "checkpoint" p.checkpoint;
+  m "record" p.record;
+  m "fold" p.fold;
+  Format.fprintf ppf "@]"
+
+let rec stmt_count stmts =
+  List.fold_left
+    (fun acc s ->
+      acc
+      +
+      match s with
+      | Write _ | Reset_modified _ | Invoke_virtual _ | Call _ | Call_generic _
+        ->
+          1
+      | If (_, t, e) -> 1 + stmt_count t + stmt_count e
+      | Let (_, _, body) | For (_, _, _, body) -> 1 + stmt_count body)
+    0 stmts
+
+let max_var stmts =
+  let m = ref (-1) in
+  let seen v = if v > !m then m := v in
+  let rec expr = function
+    | Const _ -> ()
+    | Var v -> seen v
+    | Int_field (a, b) | Child (a, b) ->
+        expr a;
+        expr b
+    | Id_of e | Kid_of e | Modified e | Is_null e | Not e | N_ints e
+    | N_children e ->
+        expr e
+    | Cond (a, b, c) ->
+        expr a;
+        expr b;
+        expr c
+  in
+  let rec stmt = function
+    | Write e | Reset_modified e | Invoke_virtual (_, e) | Call (_, e)
+    | Call_generic e ->
+        expr e
+    | If (c, t, e) ->
+        expr c;
+        List.iter stmt t;
+        List.iter stmt e
+    | Let (v, e, body) ->
+        seen v;
+        expr e;
+        List.iter stmt body
+    | For (v, lo, hi, body) ->
+        seen v;
+        expr lo;
+        expr hi;
+        List.iter stmt body
+  in
+  List.iter stmt stmts;
+  !m

@@ -1,0 +1,70 @@
+(** The checkpoint-method language: a small imperative IR in which the
+    generic checkpointing algorithm is written ({!Generic_method}) and into
+    which the partial evaluator ({!Pe}) emits residual, specialized code.
+
+    This plays the role of the C code that JSpec manipulates in the paper's
+    pipeline (Fig. 3): generic program + specialization classes → binding
+    times → residual program, which is then either interpreted
+    ({!Interp}) or compiled to closures ({!Compile}). *)
+
+type var = int
+(** Variables are numbered slots. By convention, variable 0 is the method
+    parameter (the object being checkpointed). A variable holds either an
+    int or an object reference (possibly null); the generic program and all
+    residual programs are well-typed by construction. *)
+
+type expr =
+  | Const of int
+  | Var of var
+  | Int_field of expr * expr  (** [o.ints.(i)] *)
+  | Child of expr * expr  (** [o.children.(i)], may be null *)
+  | Id_of of expr  (** [o.info.id] *)
+  | Kid_of of expr  (** [o.klass.kid] *)
+  | Modified of expr  (** [o.info.modified], as 0/1 *)
+  | Is_null of expr
+  | Not of expr
+  | N_ints of expr  (** [o.klass.n_ints] *)
+  | N_children of expr
+  | Cond of expr * expr * expr  (** [c ? a : b] *)
+
+type meth = M_checkpoint | M_record | M_fold
+
+type stmt =
+  | Write of expr  (** [d.writeInt(e)] *)
+  | Reset_modified of expr
+  | If of expr * stmt list * stmt list
+  | Let of var * expr * stmt list  (** bind an object-valued expression *)
+  | For of var * expr * expr * stmt list
+      (** [for v = lo to hi-1]; [hi] is exclusive *)
+  | Invoke_virtual of meth * expr
+      (** dispatch through the receiver's runtime class *)
+  | Call of meth * expr  (** static call to a driver method *)
+  | Call_generic of expr
+      (** residual-only: checkpoint this subtree with the generic
+          incremental algorithm (no-op on null) — the fallback emitted for
+          [Unknown] children *)
+
+type program = {
+  checkpoint : stmt list;  (** body; parameter is variable 0 *)
+  record : stmt list;
+  fold : stmt list;
+}
+
+val method_body : program -> meth -> stmt list
+
+val pp_meth : Format.formatter -> meth -> unit
+
+val pp_expr : Format.formatter -> expr -> unit
+
+val pp_stmt : Format.formatter -> stmt -> unit
+
+val pp_stmts : Format.formatter -> stmt list -> unit
+
+val pp_program : Format.formatter -> program -> unit
+
+val stmt_count : stmt list -> int
+(** Total number of statement nodes, a size measure for residual code. *)
+
+val max_var : stmt list -> int
+(** Largest variable index mentioned (-1 if none) — sizing for {!Compile}
+    environments. *)

@@ -1,0 +1,251 @@
+open Ickpt_runtime
+open Ickpt_stream
+open Cklang
+
+exception Shape_violation of string
+
+let violation fmt = Format.kasprintf (fun s -> raise (Shape_violation s)) fmt
+
+(* A frame holds the variable slots of one activation. Object and int
+   variables live in separate arrays; the language is consistently typed,
+   so a slot is only ever used at one type. Frames are recycled through a
+   LIFO pool (activations strictly nest), the moral equivalent of a call
+   stack — no per-invocation allocation on the steady state. *)
+type frame = {
+  objs : Model.obj option array;
+  ints : int array;
+  mutable d : Out_stream.t;
+}
+
+let null_violation e =
+  violation
+    "null object where the specialization class declared one present (%a)"
+    pp_expr e
+
+let get_obj e f v =
+  match f.objs.(v) with Some o -> o | None -> null_violation e
+
+(* Compilation fuses the hot access shapes the partial evaluator emits —
+   [Var v] and [Child (Var v, Const i)] receivers — into single closures;
+   anything else falls back to the general compositional scheme. *)
+let rec c_int (e : expr) : frame -> int =
+  match e with
+  | Const n -> fun _ -> n
+  | Var v -> fun f -> f.ints.(v)
+  | Int_field (Var v, Const i) -> fun f -> (get_obj e f v).Model.ints.(i)
+  | Int_field (o, i) ->
+      let co = c_obj_present o and ci = c_int i in
+      fun f -> (co f).Model.ints.((ci f))
+  | Id_of (Var v) -> fun f -> (get_obj e f v).Model.info.Model.id
+  | Id_of (Child (Var v, Const i)) ->
+      fun f ->
+        (match (get_obj e f v).Model.children.(i) with
+        | Some c -> c.Model.info.Model.id
+        | None -> null_violation e)
+  | Id_of o ->
+      let co = c_obj_present o in
+      fun f -> (co f).Model.info.Model.id
+  | Kid_of o ->
+      let co = c_obj_present o in
+      fun f -> (co f).Model.klass.Model.kid
+  | Modified (Var v) ->
+      fun f -> if (get_obj e f v).Model.info.Model.modified then 1 else 0
+  | Modified o ->
+      let co = c_obj_present o in
+      fun f -> if (co f).Model.info.Model.modified then 1 else 0
+  | Is_null (Child (Var v, Const i)) ->
+      fun f ->
+        (match (get_obj e f v).Model.children.(i) with
+        | None -> 1
+        | Some _ -> 0)
+  | Is_null o ->
+      let co = c_obj o in
+      fun f -> ( match co f with None -> 1 | Some _ -> 0)
+  | Not e ->
+      let ce = c_int e in
+      fun f -> if ce f = 0 then 1 else 0
+  | N_ints o ->
+      let co = c_obj_present o in
+      fun f -> (co f).Model.klass.Model.n_ints
+  | N_children o ->
+      let co = c_obj_present o in
+      fun f -> (co f).Model.klass.Model.n_children
+  | Cond (Is_null (Child (Var v, Const i)), Const a, Id_of (Child (Var v', Const i')))
+    when v = v' && i = i' ->
+      (* The generic record's child-id expression: children[i] == null ?
+         -1 : children[i].id — one load instead of three closures. *)
+      fun f ->
+        (match (get_obj e f v).Model.children.(i) with
+        | None -> a
+        | Some c -> c.Model.info.Model.id)
+  | Cond (c, a, b) ->
+      let cc = c_int c and ca = c_int a and cb = c_int b in
+      fun f -> if cc f <> 0 then ca f else cb f
+  | Child _ -> violation "integer expression expected: %a" pp_expr e
+
+and c_obj (e : expr) : frame -> Model.obj option =
+  match e with
+  | Var v -> fun f -> f.objs.(v)
+  | Child (Var v, Const i) -> fun f -> (get_obj e f v).Model.children.(i)
+  | Child (o, i) ->
+      let co = c_obj_present o and ci = c_int i in
+      fun f -> (co f).Model.children.((ci f))
+  | Const _ | Int_field _ | Id_of _ | Kid_of _ | Modified _ | Is_null _
+  | Not _ | N_ints _ | N_children _ | Cond _ ->
+      violation "object expression expected: %a" pp_expr e
+
+and c_obj_present (e : expr) : frame -> Model.obj =
+  match e with
+  | Var v -> fun f -> get_obj e f v
+  | _ ->
+      let co = c_obj e in
+      fun f -> ( match co f with Some o -> o | None -> null_violation e)
+
+let seq (fs : (frame -> unit) list) : frame -> unit =
+  match fs with
+  | [] -> fun _ -> ()
+  | [ f ] -> f
+  | [ f1; f2 ] ->
+      fun fr ->
+        f1 fr;
+        f2 fr
+  | [ f1; f2; f3 ] ->
+      fun fr ->
+        f1 fr;
+        f2 fr;
+        f3 fr
+  | fs ->
+      let fs = Array.of_list fs in
+      fun fr ->
+        for i = 0 to Array.length fs - 1 do
+          fs.(i) fr
+        done
+
+(* [invoke] handles virtual/static method calls in generic code; residual
+   code never contains them (the PE removed or resolved them). *)
+let rec c_stmts ~invoke stmts = seq (List.map (c_stmt ~invoke) stmts)
+
+and c_stmt ~invoke = function
+  | Write (Const n) -> fun f -> Out_stream.write_int f.d n
+  | Write e ->
+      let ce = c_int e in
+      fun f -> Out_stream.write_int f.d (ce f)
+  | Reset_modified (Var v) ->
+      fun f ->
+        (get_obj (Var v) f v).Model.info.Model.modified <- false
+  | Reset_modified e ->
+      let co = c_obj_present e in
+      fun f -> (co f).Model.info.Model.modified <- false
+  | If (Modified (Var v), t, []) ->
+      (* The residual test the specializer leaves on Tracked nodes. *)
+      let ct = c_stmts ~invoke t in
+      fun f -> if (get_obj (Var v) f v).Model.info.Model.modified then ct f
+  | If (c, t, e) ->
+      let cc = c_int c
+      and ct = c_stmts ~invoke t
+      and ce = c_stmts ~invoke e in
+      fun f -> if cc f <> 0 then ct f else ce f
+  | Let (v, e, body) ->
+      let ce = c_obj e and cbody = c_stmts ~invoke body in
+      fun f ->
+        f.objs.(v) <- ce f;
+        cbody f
+  | For (v, lo, hi, body) ->
+      let clo = c_int lo and chi = c_int hi and cbody = c_stmts ~invoke body in
+      fun f ->
+        let hi = chi f in
+        for i = clo f to hi - 1 do
+          f.ints.(v) <- i;
+          cbody f
+        done
+  | Invoke_virtual (m, e) | Call (m, e) ->
+      let ce = c_obj e in
+      fun f -> ( match ce f with None -> () | Some o -> invoke f.d o m)
+  | Call_generic e ->
+      let ce = c_obj e in
+      fun f ->
+        ( match ce f with
+        | None -> ()
+        | Some o -> Ickpt_core.Checkpointer.incremental f.d o)
+
+let no_invoke _ _ _ =
+  violation "method call reached compiled residual code"
+
+(* Frame pool: activations nest LIFO, so a stack of free frames recycles
+   allocations. The sink stream placeholder keeps the [d] field total. *)
+let make_pool n =
+  let placeholder = Out_stream.sink () in
+  let pool = ref [] in
+  let acquire d =
+    match !pool with
+    | f :: rest ->
+        pool := rest;
+        f.d <- d;
+        f
+    | [] -> { objs = Array.make n None; ints = Array.make n 0; d }
+  in
+  let release f =
+    f.d <- placeholder;
+    pool := f :: !pool
+  in
+  (acquire, release)
+
+let residual ?on_entry (r : Pe.result) =
+  let compiled = c_stmts ~invoke:no_invoke r.Pe.body in
+  let n = max 1 (max r.Pe.n_vars (Cklang.max_var r.Pe.body + 1)) in
+  let acquire, release = make_pool n in
+  let run d root =
+    let f = acquire d in
+    f.objs.(0) <- Some root;
+    (match compiled f with
+    | () -> release f
+    | exception e ->
+        release f;
+        raise e)
+  in
+  match on_entry with
+  | None -> run
+  | Some hook ->
+      fun d root ->
+        hook ();
+        run d root
+
+let program ?on_dispatch (p : Cklang.program) =
+  let n =
+    1 + List.fold_left max 0 (List.map max_var [ p.checkpoint; p.record; p.fold ])
+  in
+  let acquire, release = make_pool n in
+  (* Dispatch table: class id x method -> compiled body, resolved through
+     array indexing — the vtable access compiled C would perform. All
+     classes share the generic bodies, but the lookup still happens on
+     every call; that is the indirection specialization removes. *)
+  let table : (frame -> unit) option array ref = ref (Array.make 64 None) in
+  let hook = match on_dispatch with None -> fun _ -> () | Some h -> h in
+  let rec invoke d o m =
+    hook o;
+    let key =
+      (o.Model.klass.Model.kid * 4)
+      + (match m with M_checkpoint -> 0 | M_record -> 1 | M_fold -> 2)
+    in
+    if key >= Array.length !table then begin
+      let bigger = Array.make (max (key + 1) (2 * Array.length !table)) None in
+      Array.blit !table 0 bigger 0 (Array.length !table);
+      table := bigger
+    end;
+    let compiled =
+      match !table.(key) with
+      | Some c -> c
+      | None ->
+          let c = c_stmts ~invoke (method_body p m) in
+          !table.(key) <- Some c;
+          c
+    in
+    let f = acquire d in
+    f.objs.(0) <- Some o;
+    match compiled f with
+    | () -> release f
+    | exception e ->
+        release f;
+        raise e
+  in
+  fun d root -> invoke d root M_checkpoint

@@ -1,0 +1,32 @@
+(** Compilation of {!Cklang} to OCaml closures — the analog of running
+    Harissa-compiled C code in the paper: no interpretive overhead, direct
+    field access, and (for residual code) no dispatch at all.
+
+    Compilation is done once; the returned closure can be invoked on any
+    number of objects. The closure allocates a small variable frame per
+    invocation (residual code) or per method activation (generic code),
+    mirroring JVM frames. Closures are reentrant but not thread-safe, like
+    the rest of the library. *)
+
+open Ickpt_runtime
+
+exception Shape_violation of string
+(** Raised when compiled specialized code dereferences a statically
+    "present" child that is null at run time — i.e. the heap does not
+    conform to the specialization class it was compiled from. (Use
+    {!Guard} to diagnose such violations ahead of time.) *)
+
+val residual :
+  ?on_entry:(unit -> unit) ->
+  Pe.result ->
+  Ickpt_stream.Out_stream.t -> Model.obj -> unit
+(** Compile specialized checkpoint code. [on_entry], when given, runs once
+    per top-level invocation (backends use it for cost accounting). *)
+
+val program :
+  ?on_dispatch:(Model.obj -> unit) ->
+  Cklang.program ->
+  Ickpt_stream.Out_stream.t -> Model.obj -> unit
+(** Compile the generic program; virtual invocations resolve through a
+    per-class table at run time (the dispatch the paper's specialization
+    eliminates). [on_dispatch] runs at every virtual call. *)

@@ -1,0 +1,65 @@
+open Ickpt_runtime
+
+type violation = { path : string; reason : string }
+
+let pp_violation ppf v = Format.fprintf ppf "%s: %s" v.path v.reason
+
+exception Violated of violation
+
+(* Paths are materialized only when a violation is reported: the happy
+   path — every checkpoint when guards are enabled — allocates nothing. A
+   path is the reversed list of child slots from the root. *)
+let render_path rev_slots =
+  List.fold_left
+    (fun acc slot -> Printf.sprintf "%s.children[%d]" acc slot)
+    "root" (List.rev rev_slots)
+
+let check shape root =
+  let out = ref [] in
+  let add rev_path fmt =
+    Format.kasprintf
+      (fun reason -> out := { path = render_path rev_path; reason } :: !out)
+      fmt
+  in
+  (* A [Clean_opaque] declaration covers everything reachable below the
+     child, whatever its shape. *)
+  let rec check_subtree_clean rev_path (o : Model.obj) =
+    if o.Model.info.Model.modified then
+      add rev_path "modified flag set below a subtree declared Clean_opaque";
+    Array.iteri
+      (fun i c ->
+        match c with
+        | None -> ()
+        | Some c -> check_subtree_clean (i :: rev_path) c)
+      o.Model.children
+  and go rev_path (s : Sclass.shape) (o : Model.obj) =
+    if o.Model.klass.Model.kid <> s.Sclass.klass.Model.kid then
+      add rev_path "class %s, declared %s" o.Model.klass.Model.kname
+        s.Sclass.klass.Model.kname
+    else begin
+      if s.Sclass.status == Sclass.Clean && o.Model.info.Model.modified then
+        add rev_path "modified flag set on an object declared Clean";
+      Array.iteri
+        (fun i decl ->
+          match (decl, o.Model.children.(i)) with
+          | Sclass.Null_child, None -> ()
+          | Sclass.Null_child, Some _ ->
+              add (i :: rev_path) "non-null child declared statically null"
+          | Sclass.Exact _, None ->
+              add (i :: rev_path) "null child declared statically present"
+          | Sclass.Exact cs, Some c -> go (i :: rev_path) cs c
+          | Sclass.Nullable _, None -> ()
+          | Sclass.Nullable cs, Some c -> go (i :: rev_path) cs c
+          | Sclass.Unknown, _ -> ()
+          | Sclass.Clean_opaque, None -> ()
+          | Sclass.Clean_opaque, Some c -> check_subtree_clean (i :: rev_path) c)
+        s.Sclass.children
+    end
+  in
+  go [] shape root;
+  List.rev !out
+
+let checked shape runner d o =
+  match check shape o with
+  | [] -> runner d o
+  | v :: _ -> raise (Violated v)

@@ -1,0 +1,29 @@
+(** Runtime validation of specialization classes.
+
+    A specialized checkpoint routine is only correct on heaps that conform
+    to the shape it was built from, and — during the declared phase — on
+    objects whose [Clean] declarations really hold. The paper relies on the
+    programmer for this; {!check} makes the obligation checkable, and
+    {!checked} builds a checkpoint runner that validates before writing, so
+    a violated declaration is an error rather than silent data loss. *)
+
+open Ickpt_runtime
+
+type violation = { path : string; reason : string }
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val check : Sclass.shape -> Model.obj -> violation list
+(** Every way in which the object graph fails to conform to the shape:
+    class mismatches, null children declared present, non-null children
+    declared null, and set [modified] flags on [Clean] nodes. Empty when
+    the specialized code is safe to run on this object. *)
+
+exception Violated of violation
+
+val checked :
+  Sclass.shape ->
+  (Ickpt_stream.Out_stream.t -> Model.obj -> unit) ->
+  Ickpt_stream.Out_stream.t -> Model.obj -> unit
+(** [checked shape runner] behaves as [runner] but raises {!Violated}
+    (before writing anything) if the object does not conform. *)

@@ -1,0 +1,126 @@
+open Ickpt_runtime
+open Ickpt_stream
+open Cklang
+
+exception Runtime_error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Runtime_error s)) fmt
+
+type value = V_int of int | V_obj of Model.obj | V_null
+
+let dispatches = ref 0
+
+let dispatch_count () = !dispatches
+
+(* Method table keyed by (class id, method): every class shares the generic
+   bodies, but resolving through the table is what models the cost of a
+   virtual call. *)
+let resolve table program (o : Model.obj) m =
+  incr dispatches;
+  let key = (o.Model.klass.Model.kid * 4)
+            + (match m with M_checkpoint -> 0 | M_record -> 1 | M_fold -> 2)
+  in
+  match Hashtbl.find_opt table key with
+  | Some body -> body
+  | None ->
+      let body = method_body program m in
+      Hashtbl.add table key body;
+      body
+
+let as_int = function
+  | V_int n -> n
+  | V_obj _ -> error "expected int, got object"
+  | V_null -> error "expected int, got null"
+
+let as_obj = function
+  | V_obj o -> o
+  | V_null -> error "null dereference"
+  | V_int _ -> error "expected object, got int"
+
+let truthy v = as_int v <> 0
+
+let bool b = V_int (if b then 1 else 0)
+
+let run ~table ~program ?(n_vars = 0) d root body0 =
+  let frame_size =
+    (* Frames are small; size by the largest var in any method body. *)
+    let m = ref (max (max_var body0) (n_vars - 1)) in
+    (match program with
+    | Some p ->
+        List.iter
+          (fun b -> m := max !m (max_var b))
+          [ p.checkpoint; p.record; p.fold ]
+    | None -> ());
+    !m + 1
+  in
+  let rec exec env stmts = List.iter (stmt env) stmts
+  and stmt env = function
+    | Write e -> Out_stream.write_int d (as_int (eval env e))
+    | Reset_modified e ->
+        (as_obj (eval env e)).Model.info.Model.modified <- false
+    | If (c, t, e) -> if truthy (eval env c) then exec env t else exec env e
+    | Let (v, e, body) ->
+        env.(v) <- eval env e;
+        exec env body
+    | For (v, lo, hi, body) ->
+        let lo = as_int (eval env lo) and hi = as_int (eval env hi) in
+        for i = lo to hi - 1 do
+          env.(v) <- V_int i;
+          exec env body
+        done
+    | Invoke_virtual (m, e) -> (
+        let o = as_obj (eval env e) in
+        match program with
+        | None -> error "virtual call in residual code"
+        | Some p -> invoke p o m)
+    | Call (m, e) -> (
+        match eval env e with
+        | V_null -> ()
+        | V_int _ -> error "call on int"
+        | V_obj o -> (
+            match program with
+            | Some p -> invoke p o m
+            | None -> error "static call in residual code"))
+    | Call_generic e -> (
+        match eval env e with
+        | V_null -> ()
+        | V_obj o -> Ickpt_core.Checkpointer.incremental d o
+        | V_int _ -> error "generic call on int")
+  and invoke p o m =
+    let body = resolve table p o m in
+    let env = Array.make frame_size V_null in
+    env.(0) <- V_obj o;
+    exec env body
+  and eval env = function
+    | Const n -> V_int n
+    | Var v -> env.(v)
+    | Int_field (o, i) ->
+        V_int (as_obj (eval env o)).Model.ints.(as_int (eval env i))
+    | Child (o, i) -> (
+        match (as_obj (eval env o)).Model.children.(as_int (eval env i)) with
+        | None -> V_null
+        | Some c -> V_obj c)
+    | Id_of o -> V_int (as_obj (eval env o)).Model.info.Model.id
+    | Kid_of o -> V_int (as_obj (eval env o)).Model.klass.Model.kid
+    | Modified o -> bool (as_obj (eval env o)).Model.info.Model.modified
+    | Is_null o -> (
+        match eval env o with
+        | V_null -> bool true
+        | V_obj _ -> bool false
+        | V_int _ -> error "is_null on int")
+    | Not e -> bool (not (truthy (eval env e)))
+    | N_ints o -> V_int (as_obj (eval env o)).Model.klass.Model.n_ints
+    | N_children o -> V_int (as_obj (eval env o)).Model.klass.Model.n_children
+    | Cond (c, a, b) -> if truthy (eval env c) then eval env a else eval env b
+  in
+  let env = Array.make frame_size V_null in
+  env.(0) <- V_obj root;
+  exec env body0
+
+let run_program p d root =
+  let table = Hashtbl.create 64 in
+  run ~table ~program:(Some p) d root p.checkpoint
+
+let run_residual body ~n_vars d root =
+  let table = Hashtbl.create 4 in
+  run ~table ~program:None ~n_vars d root body

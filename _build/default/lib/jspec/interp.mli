@@ -1,0 +1,28 @@
+(** AST interpretation of {!Cklang} programs.
+
+    This is both the reference semantics (the differential-testing oracle
+    for {!Compile}) and the execution model of the slowest evaluation
+    environment in the paper's comparison (the JDK 1.2 JIT running generic
+    code): every operation pays interpretive overhead, and every virtual
+    invocation pays a method-table lookup keyed by the receiver's class. *)
+
+open Ickpt_runtime
+
+exception Runtime_error of string
+(** Type confusion or null dereference during interpretation — impossible
+    for programs produced by {!Generic_method} and {!Pe} on conforming
+    heaps, but reachable if a declared shape is violated. *)
+
+val run_program :
+  Cklang.program -> Ickpt_stream.Out_stream.t -> Model.obj -> unit
+(** Execute the [checkpoint] method on the object. *)
+
+val run_residual :
+  Cklang.stmt list -> n_vars:int -> Ickpt_stream.Out_stream.t -> Model.obj ->
+  unit
+(** Execute a residual (specialized) body with variable 0 bound to the
+    object. *)
+
+val dispatch_count : unit -> int
+(** Virtual dispatches performed since start (for tests and backend
+    instrumentation). *)

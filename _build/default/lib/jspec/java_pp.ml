@@ -1,0 +1,53 @@
+open Cklang
+
+let klass_of r v =
+  match List.assoc_opt v r.Pe.var_klass with
+  | Some name -> name
+  | None -> "Object"
+
+let rec pp_expr ppf = function
+  | Const n -> Format.pp_print_int ppf n
+  | Var v -> Format.fprintf ppf "v%d" v
+  | Int_field (o, i) -> Format.fprintf ppf "%a.f%a" pp_expr o pp_expr i
+  | Child (o, i) -> Format.fprintf ppf "%a.child%a" pp_expr o pp_expr i
+  | Id_of o -> Format.fprintf ppf "%a.getCheckpointInfo().getId()" pp_expr o
+  | Kid_of o -> Format.fprintf ppf "%a.getClassId()" pp_expr o
+  | Modified o ->
+      Format.fprintf ppf "%a.getCheckpointInfo().modified()" pp_expr o
+  | Is_null o -> Format.fprintf ppf "%a == null" pp_expr o
+  | Not e -> Format.fprintf ppf "!(%a)" pp_expr e
+  | N_ints o -> Format.fprintf ppf "%a.nIntFields()" pp_expr o
+  | N_children o -> Format.fprintf ppf "%a.nChildren()" pp_expr o
+  | Cond (c, a, b) ->
+      Format.fprintf ppf "(%a ? %a : %a)" pp_expr c pp_expr a pp_expr b
+
+let rec pp_stmt r ppf = function
+  | Write e -> Format.fprintf ppf "d.writeInt(%a);" pp_expr e
+  | Reset_modified e ->
+      Format.fprintf ppf "%a.getCheckpointInfo().resetModified();" pp_expr e
+  | If (c, t, []) ->
+      Format.fprintf ppf "@[<v 2>if (%a) {@,%a@]@,}" pp_expr c (pp_stmts r) t
+  | If (c, t, e) ->
+      Format.fprintf ppf "@[<v 2>if (%a) {@,%a@]@,@[<v 2>} else {@,%a@]@,}"
+        pp_expr c (pp_stmts r) t (pp_stmts r) e
+  | Let (v, e, body) ->
+      Format.fprintf ppf "%s v%d = %a;@,%a" (klass_of r v) v pp_expr e
+        (pp_stmts r) body
+  | For (v, lo, hi, body) ->
+      Format.fprintf ppf
+        "@[<v 2>for (int v%d = %a; v%d < %a; v%d++) {@,%a@]@,}" v pp_expr lo v
+        pp_expr hi v (pp_stmts r) body
+  | Invoke_virtual (m, e) | Call (m, e) ->
+      Format.fprintf ppf "%a.%a(d); /* virtual */" pp_expr e Cklang.pp_meth m
+  | Call_generic e -> Format.fprintf ppf "c.checkpoint(%a);" pp_expr e
+
+and pp_stmts r ppf stmts =
+  Format.pp_print_list ~pp_sep:Format.pp_print_cut (pp_stmt r) ppf stmts
+
+let pp ppf (r : Pe.result) =
+  let root = klass_of r 0 in
+  Format.fprintf ppf
+    "@[<v 2>public void checkpoint_%s(Checkpointable o) {@,%s v0 = (%s)o;@,%a@]@,}"
+    (String.lowercase_ascii root) root root (pp_stmts r) r.Pe.body
+
+let to_string r = Format.asprintf "%a" pp r

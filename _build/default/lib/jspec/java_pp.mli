@@ -1,0 +1,8 @@
+(** Rendering of residual checkpoint code in the Java style of the paper's
+    Figures 5 and 6, so that specializations of real structures can be
+    compared with the published residual programs. Purely cosmetic — the
+    executable forms are {!Interp.run_residual} and {!Compile.residual}. *)
+
+val pp : Format.formatter -> Pe.result -> unit
+
+val to_string : Pe.result -> string

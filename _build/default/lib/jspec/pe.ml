@@ -1,0 +1,254 @@
+open Cklang
+
+type result = {
+  shape : Sclass.shape;
+  body : Cklang.stmt list;
+  n_vars : int;
+  var_klass : (Cklang.var * string) list;
+}
+
+exception Specialization_error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Specialization_error s)) fmt
+
+(* Abstract values: what the specializer knows about a variable or
+   expression. Object-valued entries carry the residual access path. *)
+type aval =
+  | S_int of int  (* static integer *)
+  | D_int of expr  (* dynamic integer, residual expression *)
+  | S_null  (* statically null child *)
+  | PS of Sclass.shape * expr  (* present object of known shape *)
+  | PS_maybe of Sclass.shape * expr  (* nullable object of known shape *)
+  | D_obj of expr  (* object (or null) of unknown shape *)
+  | Opaque of expr
+    (* object (or null) of unknown shape whose whole subtree is declared
+       clean: its id may be recorded, but checkpointing it produces no
+       code at all *)
+
+type ctx = {
+  program : Cklang.program;
+  mutable next_var : int;
+  mutable var_klass : (Cklang.var * string) list;
+}
+
+let fresh ctx =
+  let v = ctx.next_var in
+  ctx.next_var <- v + 1;
+  v
+
+let path_of = function
+  | PS (_, p) | PS_maybe (_, p) | D_obj p | Opaque p -> p
+  | S_int _ | D_int _ | S_null -> error "path_of: not an object value"
+
+(* Facts: residual paths proven non-null by an enclosing test. Residual
+   expressions are pure, so structural equality of paths is sound. *)
+let non_null facts path = List.mem path facts
+
+let to_int_expr = function
+  | S_int n -> Const n
+  | D_int e -> e
+  | S_null | PS _ | PS_maybe _ | D_obj _ | Opaque _ ->
+      error "expected integer value in residual position"
+
+let rec eval ctx venv facts (e : expr) : aval =
+  match e with
+  | Const n -> S_int n
+  | Var v -> (
+      match List.assoc_opt v venv with
+      | Some a -> a
+      | None -> error "unbound variable v%d" v)
+  | Modified e' -> (
+      match eval ctx venv facts e' with
+      | PS (s, path) ->
+          if s.Sclass.status = Sclass.Clean then S_int 0
+          else D_int (Modified path)
+      | PS_maybe (_, path) | D_obj path -> D_int (Modified path)
+      | Opaque _ -> S_int 0
+      | S_null -> error "Modified on null"
+      | S_int _ | D_int _ -> error "Modified on int")
+  | Id_of e' -> D_int (Id_of (path_of (eval ctx venv facts e')))
+  | Kid_of e' -> (
+      match eval ctx venv facts e' with
+      | PS (s, _) | PS_maybe (s, _) -> S_int s.Sclass.klass.Ickpt_runtime.Model.kid
+      | D_obj path | Opaque path -> D_int (Kid_of path)
+      | S_null -> error "Kid_of on null"
+      | S_int _ | D_int _ -> error "Kid_of on int")
+  | N_ints e' -> (
+      match eval ctx venv facts e' with
+      | PS (s, _) | PS_maybe (s, _) ->
+          S_int s.Sclass.klass.Ickpt_runtime.Model.n_ints
+      | D_obj path | Opaque path -> D_int (N_ints path)
+      | _ -> error "N_ints on non-object")
+  | N_children e' -> (
+      match eval ctx venv facts e' with
+      | PS (s, _) | PS_maybe (s, _) ->
+          S_int s.Sclass.klass.Ickpt_runtime.Model.n_children
+      | D_obj path | Opaque path -> D_int (N_children path)
+      | _ -> error "N_children on non-object")
+  | Int_field (o, i) -> (
+      let o = eval ctx venv facts o and i = eval ctx venv facts i in
+      match (o, i) with
+      | (PS (_, path) | PS_maybe (_, path) | D_obj path | Opaque path), a ->
+          D_int (Int_field (path, to_int_expr a))
+      | (S_null | S_int _ | D_int _), _ -> error "Int_field on non-object")
+  | Child (o, i) -> (
+      let ov = eval ctx venv facts o and iv = eval ctx venv facts i in
+      match (ov, iv) with
+      | PS (s, path), S_int j -> (
+          if j < 0 || j >= Array.length s.Sclass.children then
+            error "child index %d out of range for %s" j
+              s.Sclass.klass.Ickpt_runtime.Model.kname;
+          let cpath = Child (path, Const j) in
+          match s.Sclass.children.(j) with
+          | Sclass.Null_child -> S_null
+          | Sclass.Exact cs -> PS (cs, cpath)
+          | Sclass.Nullable cs ->
+              if non_null facts cpath then PS (cs, cpath)
+              else PS_maybe (cs, cpath)
+          | Sclass.Unknown -> D_obj cpath
+          | Sclass.Clean_opaque -> Opaque cpath)
+      | Opaque path, a ->
+          (* Anything below a clean-opaque child is itself clean-opaque. *)
+          Opaque (Child (path, to_int_expr a))
+      | (PS (_, path) | PS_maybe (_, path) | D_obj path), a ->
+          D_obj (Child (path, to_int_expr a))
+      | (S_null | S_int _ | D_int _), _ -> error "Child on non-object")
+  | Is_null e' -> (
+      match eval ctx venv facts e' with
+      | S_null -> S_int 1
+      | PS _ -> S_int 0
+      | PS_maybe (_, path) | D_obj path | Opaque path ->
+          if non_null facts path then S_int 0 else D_int (Is_null path)
+      | S_int _ | D_int _ -> error "Is_null on int")
+  | Not e' -> (
+      match eval ctx venv facts e' with
+      | S_int n -> S_int (if n = 0 then 1 else 0)
+      | D_int e -> D_int (Not e)
+      | _ -> error "Not on object")
+  | Cond (c, a, b) -> (
+      match eval ctx venv facts c with
+      | S_int 0 -> eval ctx venv facts b
+      | S_int _ -> eval ctx venv facts a
+      | D_int c' ->
+          D_int
+            (Cond
+               ( c',
+                 to_int_expr (eval ctx venv facts a),
+                 to_int_expr (eval ctx venv facts b) ))
+      | _ -> error "Cond on object test")
+
+(* When a dynamic test proves a path non-null in its true branch, record
+   the fact so that the branch specializes with full shape knowledge. *)
+let facts_from_test facts test =
+  match test with
+  | Not (Is_null path) -> path :: facts
+  | _ -> facts
+
+let rec spec ctx venv facts stmts : stmt list =
+  List.concat_map (spec_stmt ctx venv facts) stmts
+
+and spec_stmt ctx venv facts = function
+  | Write e -> [ Write (to_int_expr (eval ctx venv facts e)) ]
+  | Reset_modified e -> (
+      match eval ctx venv facts e with
+      | PS (_, path) | PS_maybe (_, path) | D_obj path ->
+          [ Reset_modified path ]
+      | Opaque _ -> []
+      | S_null | S_int _ | D_int _ -> error "Reset_modified on non-object")
+  | If (c, t, f) -> (
+      match eval ctx venv facts c with
+      | S_int 0 -> spec ctx venv facts f
+      | S_int _ -> spec ctx venv facts t
+      | D_int c' -> (
+          let t' = spec ctx venv (facts_from_test facts c') t in
+          let f' = spec ctx venv facts f in
+          match (t', f') with [], [] -> [] | _ -> [ If (c', t', f') ])
+      | _ -> error "If on object test")
+  | Let (v, e, body) -> (
+      match eval ctx venv facts e with
+      | (S_int _ | D_int _ | S_null) as a ->
+          spec ctx ((v, a) :: venv) facts body
+      | PS (s, path) -> bind_object ctx venv facts v s path body ~nullable:false
+      | PS_maybe (s, path) -> bind_object ctx venv facts v s path body ~nullable:true
+      | D_obj path ->
+          let w = fresh ctx in
+          let body' = spec ctx ((v, D_obj (Var w)) :: venv) facts body in
+          if body' = [] then [] else [ Let (w, path, body') ]
+      | Opaque path ->
+          let w = fresh ctx in
+          let body' = spec ctx ((v, Opaque (Var w)) :: venv) facts body in
+          if body' = [] then [] else [ Let (w, path, body') ])
+  | For (v, lo, hi, body) -> (
+      let lo = eval ctx venv facts lo and hi = eval ctx venv facts hi in
+      match (lo, hi) with
+      | S_int lo, S_int hi ->
+          List.concat
+            (List.init (max 0 (hi - lo)) (fun k ->
+                 spec ctx ((v, S_int (lo + k)) :: venv) facts body))
+      | _ ->
+          let w = fresh ctx in
+          let body' = spec ctx ((v, D_int (Var w)) :: venv) facts body in
+          if body' = [] then []
+          else [ For (w, to_int_expr lo, to_int_expr hi, body') ])
+  | (Invoke_virtual (m, e) | Call (m, e)) -> (
+      match eval ctx venv facts e with
+      | S_null -> []
+      | PS (s, path) -> inline ctx facts m s path
+      | PS_maybe (s, path) ->
+          if non_null facts path then inline ctx facts m s path
+          else if m = M_checkpoint then [ Call_generic path ]
+          else error "virtual %s on possibly-null receiver"
+                 (Format.asprintf "%a" pp_meth m)
+      | D_obj path ->
+          if m = M_checkpoint then [ Call_generic path ]
+          else error "virtual %s on unknown receiver"
+                 (Format.asprintf "%a" pp_meth m)
+      | Opaque _ ->
+          (* The whole subtree is declared clean: checkpointing it emits
+             no code — the traversal the paper eliminates. *)
+          if m = M_checkpoint then []
+          else error "virtual %s on clean-opaque receiver"
+                 (Format.asprintf "%a" pp_meth m)
+      | S_int _ | D_int _ -> error "method call on int")
+  | Call_generic e -> (
+      match eval ctx venv facts e with
+      | S_null -> []
+      | PS (_, path) | PS_maybe (_, path) | D_obj path -> [ Call_generic path ]
+      | Opaque _ -> []
+      | S_int _ | D_int _ -> error "generic call on int")
+
+(* Bind an object path to a residual variable and specialize [body] with
+   the refined knowledge; drop the whole Let when nothing remains. *)
+and bind_object ctx venv facts v s path body ~nullable =
+  let w = fresh ctx in
+  ctx.var_klass <- (w, s.Sclass.klass.Ickpt_runtime.Model.kname) :: ctx.var_klass;
+  let aval = if nullable then PS_maybe (s, Var w) else PS (s, Var w) in
+  let facts = if nullable then facts else Var w :: facts in
+  let body' = spec ctx ((v, aval) :: venv) facts body in
+  if body' = [] then [] else [ Let (w, path, body') ]
+
+(* Resolve and inline a method on a shape-static receiver. Complex receiver
+   paths are let-bound first so that the inlined body does not duplicate
+   the access expression (this also makes the residual code read like the
+   paper's Figure 5). *)
+and inline ctx facts m s path =
+  match path with
+  | Var _ ->
+      let body = method_body ctx.program m in
+      spec ctx [ (0, PS (s, path)) ] (path :: facts) body
+  | _ ->
+      let w = fresh ctx in
+      ctx.var_klass <-
+        (w, s.Sclass.klass.Ickpt_runtime.Model.kname) :: ctx.var_klass;
+      let body = method_body ctx.program m in
+      let inner = spec ctx [ (0, PS (s, Var w)) ] [ Var w ] body in
+      if inner = [] then [] else [ Let (w, path, inner) ]
+
+let specialize ?(program = Generic_method.program) ?(optimize = true) shape =
+  Sclass.validate shape;
+  let ctx = { program; next_var = 1; var_klass = [ (0, shape.Sclass.klass.Ickpt_runtime.Model.kname) ] } in
+  let body =
+    spec ctx [ (0, PS (shape, Var 0)) ] [ Var 0 ] program.checkpoint
+  in
+  let body = if optimize then Plan_opt.simplify body else body in
+  { shape; body; n_vars = ctx.next_var; var_klass = List.rev ctx.var_klass }

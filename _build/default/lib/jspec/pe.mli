@@ -1,0 +1,38 @@
+(** The partial evaluator: specializes the generic checkpoint method with
+    respect to a specialization class ({!Sclass.shape}).
+
+    This reproduces JSpec's effect on the checkpointing code (paper
+    Sections 3–4):
+    - virtual [record]/[fold] invocations on receivers whose class is
+      statically known are resolved and inlined (devirtualization);
+    - loops over the statically-known field layout are unrolled;
+    - [modified] tests on objects declared [Clean] evaluate to false at
+      specialization time, removing the test {e and} the recording code;
+    - subtrees that are entirely [Clean] generate no code at all — their
+      traversal is eliminated;
+    - children declared [Unknown] fall back to a residual call to the
+      generic algorithm.
+
+    The residual program is guaranteed (and property-tested) to write the
+    same bytes as the generic algorithm on any heap that conforms to the
+    declared shape. *)
+
+type result = {
+  shape : Sclass.shape;  (** the declaration this code was built from *)
+  body : Cklang.stmt list;  (** residual checkpoint code; receiver is v0 *)
+  n_vars : int;  (** number of variable slots the residual body needs *)
+  var_klass : (Cklang.var * string) list;
+      (** static class name of each object variable, for {!Java_pp} *)
+}
+
+exception Specialization_error of string
+(** Internal invariant breach (e.g. a virtual invocation on a receiver the
+    binding-time analysis should have made static). Indicates a bug, not a
+    user error. *)
+
+val specialize :
+  ?program:Cklang.program -> ?optimize:bool -> Sclass.shape -> result
+(** [specialize shape] partially evaluates [program] (default
+    {!Generic_method.program}) for a receiver of shape [shape]. The result
+    is cleaned by {!Plan_opt.simplify} unless [optimize] is [false]
+    (exposed so the cleanup pass can be differentially tested). *)

@@ -1,0 +1,48 @@
+open Cklang
+
+let rec simplify_expr e =
+  match e with
+  | Const _ | Var _ -> e
+  | Int_field (a, b) -> Int_field (simplify_expr a, simplify_expr b)
+  | Child (a, b) -> Child (simplify_expr a, simplify_expr b)
+  | Id_of a -> Id_of (simplify_expr a)
+  | Kid_of a -> Kid_of (simplify_expr a)
+  | Modified a -> Modified (simplify_expr a)
+  | Is_null a -> Is_null (simplify_expr a)
+  | N_ints a -> N_ints (simplify_expr a)
+  | N_children a -> N_children (simplify_expr a)
+  | Not a -> (
+      match simplify_expr a with
+      | Const n -> Const (if n = 0 then 1 else 0)
+      | Not b -> b
+      | a' -> Not a')
+  | Cond (c, a, b) -> (
+      match simplify_expr c with
+      | Const 0 -> simplify_expr b
+      | Const _ -> simplify_expr a
+      | c' -> Cond (c', simplify_expr a, simplify_expr b))
+
+let rec simplify stmts = List.concat_map simplify_stmt stmts
+
+and simplify_stmt = function
+  | Write e -> [ Write (simplify_expr e) ]
+  | Reset_modified e -> [ Reset_modified (simplify_expr e) ]
+  | If (c, t, f) -> (
+      let t = simplify t and f = simplify f in
+      match (simplify_expr c, t, f) with
+      | _, [], [] -> []
+      | Const 0, _, _ -> f
+      | Const _, _, _ -> t
+      | Not c', t, f when f <> [] -> [ If (c', f, t) ]
+      | c', t, f -> [ If (c', t, f) ])
+  | Let (v, e, body) -> (
+      match simplify body with
+      | [] -> []
+      | body -> [ Let (v, simplify_expr e, body) ])
+  | For (v, lo, hi, body) -> (
+      match simplify body with
+      | [] -> []
+      | body -> [ For (v, simplify_expr lo, simplify_expr hi, body) ])
+  | Invoke_virtual (m, e) -> [ Invoke_virtual (m, simplify_expr e) ]
+  | Call (m, e) -> [ Call (m, simplify_expr e) ]
+  | Call_generic e -> [ Call_generic (simplify_expr e) ]

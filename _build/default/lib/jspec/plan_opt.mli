@@ -1,0 +1,10 @@
+(** Residual-code cleanup: the post-pass a partial evaluator runs on its
+    output. Purely semantics-preserving — constant folding in expressions,
+    and removal of statements that can have no effect (conditionals with
+    two empty branches, bindings and loops with empty bodies). All
+    expressions in the language are pure, so dropping an unused evaluation
+    is always sound. *)
+
+val simplify_expr : Cklang.expr -> Cklang.expr
+
+val simplify : Cklang.stmt list -> Cklang.stmt list

@@ -1,0 +1,64 @@
+open Ickpt_runtime
+
+type entry = {
+  plan : Pe.result;
+  compiled : Ickpt_stream.Out_stream.t -> Model.obj -> unit;
+}
+
+type t = {
+  entries : (string, entry) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create () = { entries = Hashtbl.create 16; hits = 0; misses = 0 }
+
+(* Canonical structural key. Class identity uses the class id, which is
+   schema-unique; statuses and child kinds are single characters. *)
+let shape_key shape =
+  let buf = Buffer.create 64 in
+  let rec go (s : Sclass.shape) =
+    Buffer.add_string buf (string_of_int s.Sclass.klass.Model.kid);
+    Buffer.add_char buf
+      (match s.Sclass.status with Sclass.Clean -> 'c' | Sclass.Tracked -> 't');
+    Buffer.add_char buf '(';
+    Array.iter
+      (fun child ->
+        match child with
+        | Sclass.Null_child -> Buffer.add_char buf '_'
+        | Sclass.Unknown -> Buffer.add_char buf '?'
+        | Sclass.Clean_opaque -> Buffer.add_char buf '~'
+        | Sclass.Exact c ->
+            Buffer.add_char buf '!';
+            go c
+        | Sclass.Nullable c ->
+            Buffer.add_char buf 'n';
+            go c)
+      s.Sclass.children;
+    Buffer.add_char buf ')'
+  in
+  go shape;
+  Buffer.contents buf
+
+let entry t shape =
+  let key = shape_key shape in
+  match Hashtbl.find_opt t.entries key with
+  | Some e ->
+      t.hits <- t.hits + 1;
+      e
+  | None ->
+      t.misses <- t.misses + 1;
+      let plan = Pe.specialize shape in
+      let e = { plan; compiled = Compile.residual plan } in
+      Hashtbl.add t.entries key e;
+      e
+
+let runner t shape = (entry t shape).compiled
+
+let plan t shape = (entry t shape).plan
+
+let size t = Hashtbl.length t.entries
+
+let hits t = t.hits
+
+let misses t = t.misses

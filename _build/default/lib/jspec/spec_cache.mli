@@ -1,0 +1,35 @@
+(** A cache of compiled specialized checkpoint routines, keyed by the
+    structural content of the specialization class.
+
+    The paper notes that "to account for the range of compound object
+    structures used in different phases of the program, many specialized
+    checkpointing routines may be needed" (Section 1): an application with
+    several recurring structures and several phases wants each (structure,
+    phase) combination specialized once and reused. Shapes that are
+    structurally equal (same classes, statuses and child declarations)
+    share one compiled routine, whatever their provenance. *)
+
+open Ickpt_runtime
+
+type t
+
+val create : unit -> t
+
+val runner :
+  t -> Sclass.shape -> Ickpt_stream.Out_stream.t -> Model.obj -> unit
+(** The compiled routine for this shape — specializing and compiling on
+    first use, cache hit afterwards. *)
+
+val plan : t -> Sclass.shape -> Pe.result
+(** The residual program for the shape (same caching). *)
+
+val size : t -> int
+(** Number of distinct shapes compiled so far. *)
+
+val hits : t -> int
+
+val misses : t -> int
+
+val shape_key : Sclass.shape -> string
+(** The canonical structural key (exposed for tests): two shapes get the
+    same key iff they are structurally equal. *)

@@ -1,0 +1,1 @@
+lib/minic/gen.ml: Array Ast List Printf

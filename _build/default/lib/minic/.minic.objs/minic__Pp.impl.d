@@ -1,0 +1,1 @@
+lib/minic/pp.ml: Ast Format List String

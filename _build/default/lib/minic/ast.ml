@@ -1,0 +1,91 @@
+type typ = T_int | T_array of int | T_void
+
+type unop = U_neg | U_not
+
+type binop =
+  | B_add | B_sub | B_mul | B_div | B_mod
+  | B_lt | B_le | B_gt | B_ge | B_eq | B_ne
+  | B_and | B_or
+
+type expr =
+  | E_int of int
+  | E_var of string
+  | E_index of string * expr
+  | E_unop of unop * expr
+  | E_binop of binop * expr * expr
+  | E_call of string * expr list
+
+type stmt = { sid : int; node : stmt_node }
+
+and stmt_node =
+  | S_assign of string * expr
+  | S_store of string * expr * expr
+  | S_expr of expr
+  | S_if of expr * block * block
+  | S_while of expr * block
+  | S_return of expr option
+
+and block = stmt list
+
+type var_decl = { v_name : string; v_typ : typ; v_init : int }
+
+type func = {
+  f_name : string;
+  f_params : string list;
+  f_locals : var_decl list;
+  f_body : block;
+  f_ret : typ;
+}
+
+type program = { globals : var_decl list; funcs : func list }
+
+let stmt node = { sid = -1; node }
+
+let number p =
+  let counter = ref 0 in
+  let rec renumber_stmt s =
+    let sid = !counter in
+    incr counter;
+    let node =
+      match s.node with
+      | (S_assign _ | S_store _ | S_expr _ | S_return _) as n -> n
+      | S_if (c, t, f) -> S_if (c, renumber_block t, renumber_block f)
+      | S_while (c, b) -> S_while (c, renumber_block b)
+    in
+    { sid; node }
+  and renumber_block b = List.map renumber_stmt b in
+  { p with
+    funcs = List.map (fun f -> { f with f_body = renumber_block f.f_body }) p.funcs
+  }
+
+let iter_stmts p visit =
+  let rec stmt f s =
+    visit f s;
+    match s.node with
+    | S_assign _ | S_store _ | S_expr _ | S_return _ -> ()
+    | S_if (_, t, e) ->
+        List.iter (stmt f) t;
+        List.iter (stmt f) e
+    | S_while (_, b) -> List.iter (stmt f) b
+  in
+  List.iter (fun f -> List.iter (stmt f) f.f_body) p.funcs
+
+let stmt_count p =
+  let n = ref 0 in
+  iter_stmts p (fun _ _ -> incr n);
+  !n
+
+let find_func p name = List.find_opt (fun f -> f.f_name = name) p.funcs
+
+let equal a b = number a = number b
+
+let pp_binop ppf op =
+  Format.pp_print_string ppf
+    (match op with
+    | B_add -> "+" | B_sub -> "-" | B_mul -> "*" | B_div -> "/"
+    | B_mod -> "%" | B_lt -> "<" | B_le -> "<=" | B_gt -> ">"
+    | B_ge -> ">=" | B_eq -> "==" | B_ne -> "!=" | B_and -> "&&"
+    | B_or -> "||")
+
+let pp_unop ppf op =
+  Format.pp_print_string ppf (match op with U_neg -> "-" | U_not -> "!")

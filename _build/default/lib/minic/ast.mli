@@ -1,0 +1,74 @@
+(** Abstract syntax of the simplified C the program analysis engine treats
+    (paper Section 4: "our prototype implementation in Java of these
+    analyses treats a simplified version of C").
+
+    The language has [int] scalars, fixed-size [int] arrays, and functions
+    over ints; statements are assignments, array stores, calls, [if],
+    [while] and [return]. Every statement carries a unique id ([sid]) — the
+    anchor to which the analysis engine attaches its checkpointable
+    [Attributes] structure. *)
+
+type typ = T_int | T_array of int  (** fixed length *) | T_void
+
+type unop = U_neg | U_not
+
+type binop =
+  | B_add | B_sub | B_mul | B_div | B_mod
+  | B_lt | B_le | B_gt | B_ge | B_eq | B_ne
+  | B_and | B_or
+
+type expr =
+  | E_int of int
+  | E_var of string
+  | E_index of string * expr  (** [a[e]] *)
+  | E_unop of unop * expr
+  | E_binop of binop * expr * expr
+  | E_call of string * expr list
+
+type stmt = { sid : int; node : stmt_node }
+
+and stmt_node =
+  | S_assign of string * expr
+  | S_store of string * expr * expr  (** [a[i] = e] *)
+  | S_expr of expr  (** expression for effect (a call) *)
+  | S_if of expr * block * block
+  | S_while of expr * block
+  | S_return of expr option
+
+and block = stmt list
+
+type var_decl = { v_name : string; v_typ : typ; v_init : int }
+(** [v_init] initializes scalars; arrays start zeroed. *)
+
+type func = {
+  f_name : string;
+  f_params : string list;  (** parameters are ints *)
+  f_locals : var_decl list;
+  f_body : block;
+  f_ret : typ;  (** [T_int] or [T_void] *)
+}
+
+type program = { globals : var_decl list; funcs : func list }
+
+val stmt : stmt_node -> stmt
+(** A statement with a placeholder id; run {!number} before analysis. *)
+
+val number : program -> program
+(** Assign fresh sids 0, 1, 2, ... in preorder (globals don't carry sids).
+    Idempotent: renumbering a numbered program yields the same program. *)
+
+val stmt_count : program -> int
+
+val iter_stmts : program -> (func -> stmt -> unit) -> unit
+(** Visit every statement (preorder, nested included) with its enclosing
+    function. *)
+
+val find_func : program -> string -> func option
+
+val equal : program -> program -> bool
+(** Structural equality after canonical renumbering — the round-trip
+    criterion for parse ∘ print. *)
+
+val pp_binop : Format.formatter -> binop -> unit
+
+val pp_unop : Format.formatter -> unop -> unit

@@ -1,0 +1,156 @@
+open Ast
+
+exception Runtime_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Runtime_error s)) fmt
+
+type value = V_int of int ref | V_array of int array
+
+type outcome = {
+  return_value : int option;
+  steps : int;
+  globals : (string * int) list;
+}
+
+exception Return of int option
+
+let make_store decls =
+  let store = Hashtbl.create 16 in
+  List.iter
+    (fun d ->
+      let v =
+        match d.v_typ with
+        | T_int -> V_int (ref d.v_init)
+        | T_array len ->
+            if len <= 0 then fail "array %s has non-positive length" d.v_name;
+            V_array (Array.make len 0)
+        | T_void -> fail "void variable %s" d.v_name
+      in
+      Hashtbl.replace store d.v_name v)
+    decls;
+  store
+
+let exec ?(max_steps = 10_000_000) (p : program) fname args =
+  let env = Check.check p in
+  ignore env;
+  let globals = make_store p.globals in
+  let steps = ref 0 in
+  let budget () =
+    incr steps;
+    if !steps > max_steps then fail "step budget exhausted (%d)" max_steps
+  in
+  let rec call fname args =
+    let f =
+      match find_func p fname with
+      | Some f -> f
+      | None -> fail "undefined function %s" fname
+    in
+    if List.length args <> List.length f.f_params then
+      fail "%s: arity mismatch" fname;
+    let locals = make_store f.f_locals in
+    List.iter2
+      (fun name v -> Hashtbl.replace locals name (V_int (ref v)))
+      f.f_params args;
+    let lookup x =
+      match Hashtbl.find_opt locals x with
+      | Some v -> v
+      | None -> (
+          match Hashtbl.find_opt globals x with
+          | Some v -> v
+          | None -> fail "%s: unbound variable %s" fname x)
+    in
+    let as_scalar x =
+      match lookup x with
+      | V_int r -> r
+      | V_array _ -> fail "%s: array %s used as scalar" fname x
+    in
+    let as_array x =
+      match lookup x with
+      | V_array a -> a
+      | V_int _ -> fail "%s: scalar %s used as array" fname x
+    in
+    let rec eval = function
+      | E_int n -> n
+      | E_var x -> !(as_scalar x)
+      | E_index (a, i) ->
+          let arr = as_array a in
+          let i = eval i in
+          if i < 0 || i >= Array.length arr then
+            fail "%s: %s[%d] out of bounds (length %d)" fname a i
+              (Array.length arr);
+          arr.(i)
+      | E_unop (U_neg, e) -> -eval e
+      | E_unop (U_not, e) -> if eval e = 0 then 1 else 0
+      | E_binop (op, l, r) -> (
+          match op with
+          | B_and -> if eval l = 0 then 0 else if eval r <> 0 then 1 else 0
+          | B_or -> if eval l <> 0 then 1 else if eval r <> 0 then 1 else 0
+          | _ ->
+              let l = eval l and r = eval r in
+              let nz b = if b then 1 else 0 in
+              (match op with
+              | B_add -> l + r
+              | B_sub -> l - r
+              | B_mul -> l * r
+              | B_div -> if r = 0 then fail "%s: division by zero" fname else l / r
+              | B_mod -> if r = 0 then fail "%s: modulo by zero" fname else l mod r
+              | B_lt -> nz (l < r)
+              | B_le -> nz (l <= r)
+              | B_gt -> nz (l > r)
+              | B_ge -> nz (l >= r)
+              | B_eq -> nz (l = r)
+              | B_ne -> nz (l <> r)
+              | B_and | B_or -> assert false))
+      | E_call (g, args) -> (
+          let args = List.map eval args in
+          match call g args with
+          | Some v -> v
+          | None -> fail "%s: void call to %s used as value" fname g)
+    and stmt s =
+      budget ();
+      match s.node with
+      | S_assign (x, e) -> as_scalar x := eval e
+      | S_store (a, i, e) ->
+          let arr = as_array a in
+          let i = eval i in
+          if i < 0 || i >= Array.length arr then
+            fail "%s: %s[%d] out of bounds (length %d)" fname a i
+              (Array.length arr);
+          let v = eval e in
+          arr.(i) <- v
+      | S_expr e -> (
+          match e with
+          | E_call (g, args) -> ignore (call g (List.map eval args))
+          | _ -> ignore (eval e))
+      | S_if (c, t, e) -> if eval c <> 0 then List.iter stmt t else List.iter stmt e
+      | S_while (c, b) ->
+          (* Charge the budget per loop iteration, not just once for the
+             while statement itself — an empty loop body must still hit
+             the step limit. *)
+          while eval c <> 0 do
+            budget ();
+            List.iter stmt b
+          done
+      | S_return None -> raise (Return None)
+      | S_return (Some e) -> raise (Return (Some (eval e)))
+    in
+    match List.iter stmt f.f_body with
+    | () -> None
+    | exception Return v -> v
+  in
+  let return_value = call fname args in
+  let final_globals =
+    List.filter_map
+      (fun d ->
+        match Hashtbl.find_opt globals d.v_name with
+        | Some (V_int r) -> Some (d.v_name, !r)
+        | _ -> None)
+      p.globals
+  in
+  { return_value; steps = !steps; globals = final_globals }
+
+let run ?max_steps p =
+  exec ?max_steps p "main" []
+
+let eval_function ?max_steps p fname args =
+  (exec ?max_steps p fname args).return_value

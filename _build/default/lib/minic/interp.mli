@@ -1,0 +1,22 @@
+(** Reference interpreter for the simplified C. Used by tests (the
+    generated workloads actually run) and by the examples to show that the
+    analyzed program is a real program, not a prop. *)
+
+exception Runtime_error of string
+(** Division by zero, out-of-bounds access, missing return value, or
+    exceeding the step budget. *)
+
+type outcome = {
+  return_value : int option;  (** [main]'s return, if it returned a value *)
+  steps : int;  (** statements executed *)
+  globals : (string * int) list;  (** final scalar global values *)
+}
+
+val run : ?max_steps:int -> Ast.program -> outcome
+(** Execute [main] (no arguments). [max_steps] defaults to 10,000,000.
+    @raise Runtime_error as documented; @raise Check_error via the implied
+    {!Check.check}. *)
+
+val eval_function :
+  ?max_steps:int -> Ast.program -> string -> int list -> int option
+(** Call one function with scalar arguments on fresh global state. *)

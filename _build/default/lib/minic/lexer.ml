@@ -1,0 +1,118 @@
+type token =
+  | INT_LIT of int
+  | IDENT of string
+  | KW_INT | KW_VOID | KW_IF | KW_ELSE | KW_WHILE | KW_RETURN
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | SEMI | COMMA
+  | ASSIGN
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | LT | LE | GT | GE | EQ | NE
+  | NOT | ANDAND | OROR
+  | EOF
+
+exception Lex_error of { line : int; col : int; message : string }
+
+let keyword = function
+  | "int" -> Some KW_INT
+  | "void" -> Some KW_VOID
+  | "if" -> Some KW_IF
+  | "else" -> Some KW_ELSE
+  | "while" -> Some KW_WHILE
+  | "return" -> Some KW_RETURN
+  | _ -> None
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let line = ref 1 in
+  let line_start = ref 0 in
+  let fail pos message =
+    raise (Lex_error { line = !line; col = pos - !line_start + 1; message })
+  in
+  let tokens = ref [] in
+  let emit tok = tokens := (tok, !line) :: !tokens in
+  let rec go i =
+    if i >= n then emit EOF
+    else
+      match src.[i] with
+      | '\n' ->
+          incr line;
+          line_start := i + 1;
+          go (i + 1)
+      | ' ' | '\t' | '\r' -> go (i + 1)
+      | '/' when i + 1 < n && src.[i + 1] = '/' ->
+          let rec skip j = if j < n && src.[j] <> '\n' then skip (j + 1) else j in
+          go (skip (i + 2))
+      | '/' when i + 1 < n && src.[i + 1] = '*' ->
+          let rec skip j =
+            if j + 1 >= n then fail i "unterminated block comment"
+            else if src.[j] = '\n' then begin
+              incr line;
+              line_start := j + 1;
+              skip (j + 1)
+            end
+            else if src.[j] = '*' && src.[j + 1] = '/' then j + 2
+            else skip (j + 1)
+          in
+          go (skip (i + 2))
+      | '(' -> emit LPAREN; go (i + 1)
+      | ')' -> emit RPAREN; go (i + 1)
+      | '{' -> emit LBRACE; go (i + 1)
+      | '}' -> emit RBRACE; go (i + 1)
+      | '[' -> emit LBRACKET; go (i + 1)
+      | ']' -> emit RBRACKET; go (i + 1)
+      | ';' -> emit SEMI; go (i + 1)
+      | ',' -> emit COMMA; go (i + 1)
+      | '+' -> emit PLUS; go (i + 1)
+      | '-' -> emit MINUS; go (i + 1)
+      | '*' -> emit STAR; go (i + 1)
+      | '/' -> emit SLASH; go (i + 1)
+      | '%' -> emit PERCENT; go (i + 1)
+      | '<' when i + 1 < n && src.[i + 1] = '=' -> emit LE; go (i + 2)
+      | '<' -> emit LT; go (i + 1)
+      | '>' when i + 1 < n && src.[i + 1] = '=' -> emit GE; go (i + 2)
+      | '>' -> emit GT; go (i + 1)
+      | '=' when i + 1 < n && src.[i + 1] = '=' -> emit EQ; go (i + 2)
+      | '=' -> emit ASSIGN; go (i + 1)
+      | '!' when i + 1 < n && src.[i + 1] = '=' -> emit NE; go (i + 2)
+      | '!' -> emit NOT; go (i + 1)
+      | '&' when i + 1 < n && src.[i + 1] = '&' -> emit ANDAND; go (i + 2)
+      | '|' when i + 1 < n && src.[i + 1] = '|' -> emit OROR; go (i + 2)
+      | c when is_digit c ->
+          let rec scan j acc =
+            if j < n && is_digit src.[j] then
+              scan (j + 1) ((acc * 10) + (Char.code src.[j] - Char.code '0'))
+            else (j, acc)
+          in
+          let j, v = scan i 0 in
+          emit (INT_LIT v);
+          go j
+      | c when is_ident_start c ->
+          let rec scan j = if j < n && is_ident_char src.[j] then scan (j + 1) else j in
+          let j = scan i in
+          let word = String.sub src i (j - i) in
+          emit (match keyword word with Some kw -> kw | None -> IDENT word);
+          go j
+      | c -> fail i (Printf.sprintf "unexpected character %C" c)
+  in
+  go 0;
+  List.rev !tokens
+
+let pp_token ppf tok =
+  Format.pp_print_string ppf
+    (match tok with
+    | INT_LIT n -> string_of_int n
+    | IDENT s -> s
+    | KW_INT -> "int" | KW_VOID -> "void" | KW_IF -> "if" | KW_ELSE -> "else"
+    | KW_WHILE -> "while" | KW_RETURN -> "return"
+    | LPAREN -> "(" | RPAREN -> ")" | LBRACE -> "{" | RBRACE -> "}"
+    | LBRACKET -> "[" | RBRACKET -> "]" | SEMI -> ";" | COMMA -> ","
+    | ASSIGN -> "=" | PLUS -> "+" | MINUS -> "-" | STAR -> "*"
+    | SLASH -> "/" | PERCENT -> "%" | LT -> "<" | LE -> "<=" | GT -> ">"
+    | GE -> ">=" | EQ -> "==" | NE -> "!=" | NOT -> "!" | ANDAND -> "&&"
+    | OROR -> "||" | EOF -> "<eof>")

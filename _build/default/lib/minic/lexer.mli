@@ -1,0 +1,22 @@
+(** Hand-written lexer for the simplified C. *)
+
+type token =
+  | INT_LIT of int
+  | IDENT of string
+  | KW_INT | KW_VOID | KW_IF | KW_ELSE | KW_WHILE | KW_RETURN
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | SEMI | COMMA
+  | ASSIGN  (** [=] *)
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | LT | LE | GT | GE | EQ | NE
+  | NOT | ANDAND | OROR
+  | EOF
+
+exception Lex_error of { line : int; col : int; message : string }
+
+val tokenize : string -> (token * int) list
+(** Token stream with line numbers, ending in [EOF]. Supports [//] line
+    comments and [/* ... */] block comments.
+    @raise Lex_error on an unexpected character or unterminated comment. *)
+
+val pp_token : Format.formatter -> token -> unit

@@ -1,0 +1,330 @@
+open Ast
+
+exception Parse_error of { line : int; message : string }
+
+type state = { mutable toks : (Lexer.token * int) list }
+
+let fail_at line fmt =
+  Format.kasprintf (fun message -> raise (Parse_error { line; message })) fmt
+
+let peek st =
+  match st.toks with
+  | (tok, line) :: _ -> (tok, line)
+  | [] -> (Lexer.EOF, 0)
+
+let advance st =
+  match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let next st =
+  let tok, line = peek st in
+  advance st;
+  (tok, line)
+
+let expect st expected what =
+  let tok, line = next st in
+  if tok <> expected then
+    fail_at line "expected %s, found %a" what Lexer.pp_token tok
+
+let expect_ident st what =
+  match next st with
+  | Lexer.IDENT name, _ -> name
+  | tok, line -> fail_at line "expected %s, found %a" what Lexer.pp_token tok
+
+let expect_int st what =
+  match next st with
+  | Lexer.INT_LIT n, _ -> n
+  | Lexer.MINUS, _ -> (
+      match next st with
+      | Lexer.INT_LIT n, _ -> -n
+      | tok, line -> fail_at line "expected %s, found %a" what Lexer.pp_token tok)
+  | tok, line -> fail_at line "expected %s, found %a" what Lexer.pp_token tok
+
+(* Expressions: precedence climbing. *)
+let rec parse_expr st = parse_or st
+
+and parse_or st =
+  let lhs = parse_and st in
+  match peek st with
+  | Lexer.OROR, _ ->
+      advance st;
+      E_binop (B_or, lhs, parse_or st)
+  | _ -> lhs
+
+and parse_and st =
+  let lhs = parse_cmp st in
+  match peek st with
+  | Lexer.ANDAND, _ ->
+      advance st;
+      E_binop (B_and, lhs, parse_and st)
+  | _ -> lhs
+
+and parse_cmp st =
+  let lhs = parse_add st in
+  let op =
+    match peek st with
+    | Lexer.LT, _ -> Some B_lt
+    | Lexer.LE, _ -> Some B_le
+    | Lexer.GT, _ -> Some B_gt
+    | Lexer.GE, _ -> Some B_ge
+    | Lexer.EQ, _ -> Some B_eq
+    | Lexer.NE, _ -> Some B_ne
+    | _ -> None
+  in
+  match op with
+  | None -> lhs
+  | Some op ->
+      advance st;
+      E_binop (op, lhs, parse_add st)
+
+and parse_add st =
+  let rec loop lhs =
+    match peek st with
+    | Lexer.PLUS, _ ->
+        advance st;
+        loop (E_binop (B_add, lhs, parse_mul st))
+    | Lexer.MINUS, _ ->
+        advance st;
+        loop (E_binop (B_sub, lhs, parse_mul st))
+    | _ -> lhs
+  in
+  loop (parse_mul st)
+
+and parse_mul st =
+  let rec loop lhs =
+    match peek st with
+    | Lexer.STAR, _ ->
+        advance st;
+        loop (E_binop (B_mul, lhs, parse_unary st))
+    | Lexer.SLASH, _ ->
+        advance st;
+        loop (E_binop (B_div, lhs, parse_unary st))
+    | Lexer.PERCENT, _ ->
+        advance st;
+        loop (E_binop (B_mod, lhs, parse_unary st))
+    | _ -> lhs
+  in
+  loop (parse_unary st)
+
+and parse_unary st =
+  match peek st with
+  | Lexer.MINUS, _ -> (
+      advance st;
+      (* Normalize negated literals so that printing [-5] re-parses to the
+         same tree. *)
+      match parse_unary st with
+      | E_int n -> E_int (-n)
+      | e -> E_unop (U_neg, e))
+  | Lexer.NOT, _ ->
+      advance st;
+      E_unop (U_not, parse_unary st)
+  | _ -> parse_primary st
+
+and parse_primary st =
+  match next st with
+  | Lexer.INT_LIT n, _ -> E_int n
+  | Lexer.LPAREN, _ ->
+      let e = parse_expr st in
+      expect st Lexer.RPAREN ")";
+      e
+  | Lexer.IDENT name, _ -> (
+      match peek st with
+      | Lexer.LPAREN, _ ->
+          advance st;
+          let args = parse_args st in
+          E_call (name, args)
+      | Lexer.LBRACKET, _ ->
+          advance st;
+          let idx = parse_expr st in
+          expect st Lexer.RBRACKET "]";
+          E_index (name, idx)
+      | _ -> E_var name)
+  | tok, line -> fail_at line "expected expression, found %a" Lexer.pp_token tok
+
+and parse_args st =
+  match peek st with
+  | Lexer.RPAREN, _ ->
+      advance st;
+      []
+  | _ ->
+      let rec loop acc =
+        let acc = parse_expr st :: acc in
+        match next st with
+        | Lexer.COMMA, _ -> loop acc
+        | Lexer.RPAREN, _ -> List.rev acc
+        | tok, line ->
+            fail_at line "expected , or ) in arguments, found %a"
+              Lexer.pp_token tok
+      in
+      loop []
+
+(* Statements *)
+let rec parse_stmt st =
+  match peek st with
+  | Lexer.KW_IF, _ ->
+      advance st;
+      expect st Lexer.LPAREN "(";
+      let cond = parse_expr st in
+      expect st Lexer.RPAREN ")";
+      let then_b = parse_block st in
+      let else_b =
+        match peek st with
+        | Lexer.KW_ELSE, _ ->
+            advance st;
+            parse_block st
+        | _ -> []
+      in
+      stmt (S_if (cond, then_b, else_b))
+  | Lexer.KW_WHILE, _ ->
+      advance st;
+      expect st Lexer.LPAREN "(";
+      let cond = parse_expr st in
+      expect st Lexer.RPAREN ")";
+      stmt (S_while (cond, parse_block st))
+  | Lexer.KW_RETURN, _ ->
+      advance st;
+      let e =
+        match peek st with
+        | Lexer.SEMI, _ -> None
+        | _ -> Some (parse_expr st)
+      in
+      expect st Lexer.SEMI ";";
+      stmt (S_return e)
+  | Lexer.IDENT name, _ -> (
+      advance st;
+      match peek st with
+      | Lexer.ASSIGN, _ ->
+          advance st;
+          let e = parse_expr st in
+          expect st Lexer.SEMI ";";
+          stmt (S_assign (name, e))
+      | Lexer.LBRACKET, _ ->
+          advance st;
+          let idx = parse_expr st in
+          expect st Lexer.RBRACKET "]";
+          expect st Lexer.ASSIGN "=";
+          let e = parse_expr st in
+          expect st Lexer.SEMI ";";
+          stmt (S_store (name, idx, e))
+      | Lexer.LPAREN, _ ->
+          advance st;
+          let args = parse_args st in
+          expect st Lexer.SEMI ";";
+          stmt (S_expr (E_call (name, args)))
+      | tok, line ->
+          fail_at line "expected statement after identifier, found %a"
+            Lexer.pp_token tok)
+  | tok, line -> fail_at line "expected statement, found %a" Lexer.pp_token tok
+
+and parse_block st =
+  expect st Lexer.LBRACE "{";
+  let rec loop acc =
+    match peek st with
+    | Lexer.RBRACE, _ ->
+        advance st;
+        List.rev acc
+    | _ -> loop (parse_stmt st :: acc)
+  in
+  loop []
+
+let parse_var_decl st =
+  (* "int" already consumed *)
+  let name = expect_ident st "variable name" in
+  let typ =
+    match peek st with
+    | Lexer.LBRACKET, _ ->
+        advance st;
+        let len = expect_int st "array length" in
+        expect st Lexer.RBRACKET "]";
+        T_array len
+    | _ -> T_int
+  in
+  let init =
+    match peek st with
+    | Lexer.ASSIGN, _ ->
+        advance st;
+        expect_int st "initializer"
+    | _ -> 0
+  in
+  expect st Lexer.SEMI ";";
+  { v_name = name; v_typ = typ; v_init = init }
+
+let parse_params st =
+  expect st Lexer.LPAREN "(";
+  match peek st with
+  | Lexer.RPAREN, _ ->
+      advance st;
+      []
+  | _ ->
+      let rec loop acc =
+        expect st Lexer.KW_INT "int (parameter type)";
+        let acc = expect_ident st "parameter name" :: acc in
+        match next st with
+        | Lexer.COMMA, _ -> loop acc
+        | Lexer.RPAREN, _ -> List.rev acc
+        | tok, line ->
+            fail_at line "expected , or ) in parameters, found %a"
+              Lexer.pp_token tok
+      in
+      loop []
+
+let parse_func_rest st ~ret ~name =
+  let params = parse_params st in
+  expect st Lexer.LBRACE "{";
+  (* leading local declarations *)
+  let rec locals acc =
+    match peek st with
+    | Lexer.KW_INT, _ ->
+        advance st;
+        locals (parse_var_decl st :: acc)
+    | _ -> List.rev acc
+  in
+  let f_locals = locals [] in
+  let rec body acc =
+    match peek st with
+    | Lexer.RBRACE, _ ->
+        advance st;
+        List.rev acc
+    | _ -> body (parse_stmt st :: acc)
+  in
+  { f_name = name; f_params = params; f_locals; f_body = body []; f_ret = ret }
+
+let parse src =
+  let st = { toks = Lexer.tokenize src } in
+  let rec toplevel globals funcs =
+    match next st with
+    | Lexer.EOF, _ -> { globals = List.rev globals; funcs = List.rev funcs }
+    | Lexer.KW_VOID, _ ->
+        let name = expect_ident st "function name" in
+        toplevel globals (parse_func_rest st ~ret:T_void ~name :: funcs)
+    | Lexer.KW_INT, line -> (
+        let name = expect_ident st "name" in
+        match peek st with
+        | Lexer.LPAREN, _ ->
+            toplevel globals (parse_func_rest st ~ret:T_int ~name :: funcs)
+        | Lexer.LBRACKET, _ | Lexer.ASSIGN, _ | Lexer.SEMI, _ ->
+            (* global declaration: re-run the declaration parser *)
+            let typ =
+              match peek st with
+              | Lexer.LBRACKET, _ ->
+                  advance st;
+                  let len = expect_int st "array length" in
+                  expect st Lexer.RBRACKET "]";
+                  T_array len
+              | _ -> T_int
+            in
+            let init =
+              match peek st with
+              | Lexer.ASSIGN, _ ->
+                  advance st;
+                  expect_int st "initializer"
+              | _ -> 0
+            in
+            expect st Lexer.SEMI ";";
+            toplevel ({ v_name = name; v_typ = typ; v_init = init } :: globals) funcs
+        | tok, _ ->
+            fail_at line "expected global or function after name, found %a"
+              Lexer.pp_token tok)
+    | tok, line ->
+        fail_at line "expected declaration, found %a" Lexer.pp_token tok
+  in
+  Ast.number (toplevel [] [])

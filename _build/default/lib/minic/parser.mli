@@ -1,0 +1,20 @@
+(** Recursive-descent parser for the simplified C.
+
+    Grammar sketch (statements inside [if]/[while] require braces, which is
+    also what {!Pp} prints, making parse ∘ print the identity):
+    {v
+    program  ::= (global | func)*
+    global   ::= "int" ident ("[" num "]")? ("=" num)? ";"
+    func     ::= ("int" | "void") ident "(" params? ")" "{" local* stmt* "}"
+    local    ::= "int" ident ("[" num "]")? ("=" num)? ";"
+    stmt     ::= ident "=" expr ";" | ident "[" expr "]" "=" expr ";"
+               | "if" "(" expr ")" block ("else" block)?
+               | "while" "(" expr ")" block
+               | "return" expr? ";" | expr ";"
+    v} *)
+
+exception Parse_error of { line : int; message : string }
+
+val parse : string -> Ast.program
+(** Parse and {!Ast.number} a program.
+    @raise Parse_error and @raise Lexer.Lex_error on bad input. *)

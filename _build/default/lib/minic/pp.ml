@@ -1,0 +1,88 @@
+open Ast
+
+(* Precedence levels for minimal parenthesization: higher binds tighter. *)
+let binop_prec = function
+  | B_or -> 1
+  | B_and -> 2
+  | B_lt | B_le | B_gt | B_ge | B_eq | B_ne -> 3
+  | B_add | B_sub -> 4
+  | B_mul | B_div | B_mod -> 5
+
+(* The comparison level is non-associative in our grammar and || / && parse
+   right-associated; printing conservatively parenthesizes any nested
+   operator of equal precedence on the left of a comparison and on either
+   side where associativity could differ. We keep it simple: parenthesize
+   children whose precedence is <= the parent's, except the left child of
+   left-associative arithmetic. *)
+let rec pp_expr_prec prec ppf e =
+  match e with
+  | E_int n -> Format.pp_print_int ppf n
+  | E_var x -> Format.pp_print_string ppf x
+  | E_index (a, i) -> Format.fprintf ppf "%s[%a]" a (pp_expr_prec 0) i
+  | E_unop (op, e) -> Format.fprintf ppf "%a%a" pp_unop op (pp_expr_prec 6) e
+  | E_binop (op, l, r) ->
+      let p = binop_prec op in
+      let left_assoc = p >= 4 in
+      let lp = if left_assoc then p - 1 else p in
+      let body ppf () =
+        Format.fprintf ppf "%a %a %a"
+          (pp_expr_prec lp) l pp_binop op (pp_expr_prec p) r
+      in
+      if p <= prec then Format.fprintf ppf "(%a)" body ()
+      else body ppf ()
+  | E_call (f, args) ->
+      Format.fprintf ppf "%s(%a)" f
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           (pp_expr_prec 0))
+        args
+
+let pp_expr = pp_expr_prec 0
+
+let rec pp_stmt ppf s =
+  match s.node with
+  | S_assign (x, e) -> Format.fprintf ppf "%s = %a;" x pp_expr e
+  | S_store (a, i, e) ->
+      Format.fprintf ppf "%s[%a] = %a;" a pp_expr i pp_expr e
+  | S_expr e -> Format.fprintf ppf "%a;" pp_expr e
+  | S_return None -> Format.pp_print_string ppf "return;"
+  | S_return (Some e) -> Format.fprintf ppf "return %a;" pp_expr e
+  | S_if (c, t, []) ->
+      Format.fprintf ppf "@[<v 2>if (%a) {@,%a@]@,}" pp_expr c pp_block t
+  | S_if (c, t, e) ->
+      Format.fprintf ppf "@[<v 2>if (%a) {@,%a@]@,@[<v 2>} else {@,%a@]@,}"
+        pp_expr c pp_block t pp_block e
+  | S_while (c, b) ->
+      Format.fprintf ppf "@[<v 2>while (%a) {@,%a@]@,}" pp_expr c pp_block b
+
+and pp_block ppf b =
+  Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_stmt ppf b
+
+let pp_decl ppf d =
+  match d.v_typ with
+  | T_int when d.v_init = 0 -> Format.fprintf ppf "int %s;" d.v_name
+  | T_int -> Format.fprintf ppf "int %s = %d;" d.v_name d.v_init
+  | T_array len -> Format.fprintf ppf "int %s[%d];" d.v_name len
+  | T_void -> Format.fprintf ppf "void %s;" d.v_name
+
+let pp_func ppf f =
+  let ret = match f.f_ret with T_void -> "void" | _ -> "int" in
+  Format.fprintf ppf "@[<v 2>%s %s(%s) {@," ret f.f_name
+    (String.concat ", " (List.map (fun p -> "int " ^ p) f.f_params));
+  List.iter (fun d -> Format.fprintf ppf "%a@," pp_decl d) f.f_locals;
+  Format.fprintf ppf "%a@]@,}" pp_block f.f_body
+
+let pp_program ppf p =
+  Format.fprintf ppf "@[<v>";
+  List.iter (fun d -> Format.fprintf ppf "%a@," pp_decl d) p.globals;
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.fprintf ppf "@,@,")
+    pp_func ppf p.funcs;
+  Format.fprintf ppf "@]@."
+
+let to_string p = Format.asprintf "%a" pp_program p
+
+let line_count p =
+  String.split_on_char '\n' (to_string p)
+  |> List.filter (fun l -> String.trim l <> "")
+  |> List.length

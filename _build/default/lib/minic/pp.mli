@@ -1,0 +1,15 @@
+(** Pretty-printer for the simplified C. Output re-parses to an equal
+    program ([Parser.parse (to_string p)] ≡ [p]); all [if]/[while] bodies
+    are braced, matching the grammar {!Parser} accepts. *)
+
+val pp_expr : Format.formatter -> Ast.expr -> unit
+
+val pp_stmt : Format.formatter -> Ast.stmt -> unit
+
+val pp_program : Format.formatter -> Ast.program -> unit
+
+val to_string : Ast.program -> string
+
+val line_count : Ast.program -> int
+(** Number of source lines the printed form occupies (the paper sizes its
+    input as "a 750-line image manipulation program"). *)

@@ -1,0 +1,1 @@
+lib/runtime/barrier.ml: Array Fun Model

@@ -1,0 +1,1 @@
+lib/runtime/deep_eq.ml: Array Format Hashtbl Model Printf

@@ -1,0 +1,1 @@
+lib/runtime/deep_eq.mli: Format Model

@@ -1,0 +1,1 @@
+lib/runtime/dot.ml: Array Buffer Fun Hashtbl List Model Printf String

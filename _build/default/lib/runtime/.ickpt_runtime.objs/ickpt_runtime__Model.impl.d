@@ -1,0 +1,1 @@
+lib/runtime/model.ml: Array Format Hashtbl Ickpt_stream Out_stream String

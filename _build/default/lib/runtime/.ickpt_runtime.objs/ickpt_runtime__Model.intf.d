@@ -1,0 +1,1 @@
+lib/runtime/model.mli: Format Ickpt_stream

@@ -1,0 +1,1 @@
+lib/runtime/schema.ml: Hashtbl List Model Printf

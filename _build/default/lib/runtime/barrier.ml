@@ -1,0 +1,44 @@
+let trace : (Model.obj -> unit) option ref = ref None
+
+let dirty o =
+  o.Model.info.Model.modified <- true;
+  match !trace with None -> () | Some f -> f o
+
+let set_int o i v =
+  o.Model.ints.(i) <- v;
+  dirty o
+
+let set_child o i c =
+  o.Model.children.(i) <- c;
+  dirty o
+
+let same_child a b =
+  match (a, b) with
+  | None, None -> true
+  | Some x, Some y -> x == y
+  | None, Some _ | Some _, None -> false
+
+let set_int_if_changed o i v =
+  if o.Model.ints.(i) = v then false
+  else begin
+    set_int o i v;
+    true
+  end
+
+let set_child_if_changed o i c =
+  if same_child o.Model.children.(i) c then false
+  else begin
+    set_child o i c;
+    true
+  end
+
+let get_int o i = o.Model.ints.(i)
+
+let get_child o i = o.Model.children.(i)
+
+let touch o = dirty o
+
+let with_trace hook f =
+  let saved = !trace in
+  trace := Some hook;
+  Fun.protect ~finally:(fun () -> trace := saved) f

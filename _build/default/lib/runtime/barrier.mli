@@ -1,0 +1,32 @@
+(** Write barriers: every mutation of a checkpointable object goes through
+    these functions, which set the object's [modified] flag — the mechanism
+    the paper assumes ("extra time on every assignment to update the
+    associated flag", Section 6).
+
+    [set_*_if_changed] variants only dirty the object when the value really
+    changes; iterative fixpoint analyses use them so that converged objects
+    stop appearing in incremental checkpoints.
+
+    An optional trace hook observes every dirtying write; the declaration
+    inference of {!Ickpt_analysis.Decls} uses it to learn per-phase
+    modification patterns (the paper's stated future work). *)
+
+val set_int : Model.obj -> int -> int -> unit
+
+val set_child : Model.obj -> int -> Model.obj option -> unit
+
+val set_int_if_changed : Model.obj -> int -> int -> bool
+(** Returns [true] iff the stored value changed (and the flag was set). *)
+
+val set_child_if_changed : Model.obj -> int -> Model.obj option -> bool
+
+val get_int : Model.obj -> int -> int
+
+val get_child : Model.obj -> int -> Model.obj option
+
+val touch : Model.obj -> unit
+(** Mark modified without changing any field. *)
+
+val with_trace : (Model.obj -> unit) -> (unit -> 'a) -> 'a
+(** [with_trace hook f] runs [f] with [hook] invoked on every dirtying
+    write; restores the previous hook afterwards (exceptions included). *)

@@ -1,0 +1,42 @@
+type mismatch = { path : string; reason : string }
+
+exception Found of mismatch
+
+let fail path fmt =
+  Format.kasprintf (fun reason -> raise (Found { path; reason })) fmt
+
+(* Pairs already proven equal (or in progress); keyed by the two ids. On
+   acyclic graphs "in progress" pairs are never revisited along the same
+   path, so memoising them is sound and makes DAG comparison linear. *)
+let compare_graphs a b =
+  let seen = Hashtbl.create 256 in
+  let rec go path a b =
+    let open Model in
+    let key = (a.info.id, b.info.id) in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      if a.klass.kid <> b.klass.kid then
+        fail path "class %s vs %s" a.klass.kname b.klass.kname;
+      if a.info.modified <> b.info.modified then
+        fail path "modified flag %b vs %b" a.info.modified b.info.modified;
+      Array.iteri
+        (fun i v ->
+          if v <> b.ints.(i) then
+            fail (Printf.sprintf "%s.ints[%d]" path i) "%d vs %d" v b.ints.(i))
+        a.ints;
+      Array.iteri
+        (fun i ca ->
+          let path = Printf.sprintf "%s.children[%d]" path i in
+          match (ca, b.children.(i)) with
+          | None, None -> ()
+          | Some _, None -> fail path "present vs null"
+          | None, Some _ -> fail path "null vs present"
+          | Some ca, Some cb -> go path ca cb)
+        a.children
+    end
+  in
+  match go "root" a b with () -> None | exception Found m -> Some m
+
+let equal a b = compare_graphs a b = None
+
+let pp_mismatch ppf m = Format.fprintf ppf "%s: %s" m.path m.reason

@@ -1,0 +1,18 @@
+(** Deep structural equality of object graphs, used to validate that a
+    restored heap is indistinguishable from the original. Handles shared
+    substructure (DAGs); object graphs are assumed acyclic, as in the
+    paper. *)
+
+type mismatch = {
+  path : string;  (** field path from the roots to the first difference *)
+  reason : string;
+}
+
+val compare_graphs : Model.obj -> Model.obj -> mismatch option
+(** [compare_graphs a b] is [None] when the graphs rooted at [a] and [b]
+    are isomorphic: same classes, same scalar values, same child structure
+    (ids may differ — the correspondence is structural). *)
+
+val equal : Model.obj -> Model.obj -> bool
+
+val pp_mismatch : Format.formatter -> mismatch -> unit

@@ -1,0 +1,41 @@
+(** The live heap: allocation, unique-id management and the id → object
+    registry that both incremental recording and restoration rely on. *)
+
+type t
+
+val create : Schema.t -> t
+
+val schema : t -> Schema.t
+
+val alloc : t -> Model.klass -> Model.obj
+(** Allocate a fresh object with zeroed scalar slots and null children.
+    Its [modified] flag starts {e set}: an object created since the previous
+    checkpoint must appear in the next one. *)
+
+val alloc_with_id : t -> Model.klass -> id:int -> modified:bool -> Model.obj
+(** Restoration-path allocation with a caller-chosen id.
+    @raise Invalid_argument if [id] is already live or negative. *)
+
+val find : t -> int -> Model.obj option
+
+val find_exn : t -> int -> Model.obj
+(** @raise Not_found *)
+
+val count : t -> int
+
+val iter : t -> (Model.obj -> unit) -> unit
+
+val next_id : t -> int
+(** The id the next {!alloc} will use (for tests and stats). *)
+
+val clear_all_modified : t -> unit
+(** Reset every object's flag, e.g. after an initial full checkpoint. *)
+
+val modified_count : t -> int
+
+val sweep : t -> roots:Model.obj list -> int
+(** Remove from the id registry every object not reachable from [roots],
+    returning how many were dropped. The analog of a GC sweep for the
+    registry: replaced substructure (e.g. superseded side-effect lists)
+    otherwise accumulates as unreachable-but-registered garbage. Live
+    object ids and the allocation counter are unaffected. *)

@@ -1,0 +1,44 @@
+type t = {
+  mutable klasses : Model.klass list;  (* reverse declaration order *)
+  by_kid : (int, Model.klass) Hashtbl.t;
+  by_name : (string, Model.klass) Hashtbl.t;
+  mutable next_kid : int;
+}
+
+let create () =
+  { klasses = []; by_kid = Hashtbl.create 16; by_name = Hashtbl.create 16;
+    next_kid = 0 }
+
+let declare t ~name ?parent ~ints ~children () =
+  if Hashtbl.mem t.by_name name then
+    invalid_arg (Printf.sprintf "Schema.declare: duplicate class %S" name);
+  if ints < 0 || children < 0 then invalid_arg "Schema.declare: negative arity";
+  let inherited_ints, inherited_children =
+    match parent with
+    | None -> (0, 0)
+    | Some p -> (p.Model.n_ints, p.Model.n_children)
+  in
+  let k =
+    { Model.kid = t.next_kid;
+      kname = name;
+      parent;
+      n_ints = inherited_ints + ints;
+      n_children = inherited_children + children;
+      own_ints = ints;
+      own_children = children;
+      record_m = Model.default_record;
+      fold_m = Model.default_fold }
+  in
+  t.next_kid <- t.next_kid + 1;
+  t.klasses <- k :: t.klasses;
+  Hashtbl.add t.by_kid k.Model.kid k;
+  Hashtbl.add t.by_name name k;
+  k
+
+let find t kid = Hashtbl.find t.by_kid kid
+
+let find_name t name = Hashtbl.find t.by_name name
+
+let count t = t.next_kid
+
+let iter t f = List.iter f (List.rev t.klasses)

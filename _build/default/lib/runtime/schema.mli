@@ -1,0 +1,29 @@
+(** Class schema: the registry of runtime classes, shared between the live
+    heap and the restore path so that class ids resolve identically on both
+    sides of a crash.
+
+    Declaring a class installs the preprocessor-generated default [record]
+    and [fold] methods (cf. paper Section 2.2); callers may override them
+    afterwards to model hand-written checkpointing methods. *)
+
+type t
+
+val create : unit -> t
+
+val declare :
+  t -> name:string -> ?parent:Model.klass -> ints:int -> children:int ->
+  unit -> Model.klass
+(** [declare t ~name ?parent ~ints ~children ()] registers a class with
+    [ints] own scalar slots and [children] own child slots, appended after
+    the inherited slots of [parent].
+    @raise Invalid_argument if [name] is already declared. *)
+
+val find : t -> int -> Model.klass
+(** Look up by class id. @raise Not_found for unknown ids. *)
+
+val find_name : t -> string -> Model.klass
+
+val count : t -> int
+
+val iter : t -> (Model.klass -> unit) -> unit
+(** In declaration (= class id) order. *)

@@ -1,0 +1,1 @@
+lib/stream/crc32.ml: Array Bytes Char Lazy String

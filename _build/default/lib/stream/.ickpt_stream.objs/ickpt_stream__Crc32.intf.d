@@ -1,0 +1,1 @@
+lib/stream/crc32.mli:

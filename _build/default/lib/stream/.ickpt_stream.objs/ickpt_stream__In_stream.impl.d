@@ -1,0 +1,1 @@
+lib/stream/in_stream.ml: Char Format String Varint

@@ -1,0 +1,1 @@
+lib/stream/in_stream.mli:

@@ -1,0 +1,1 @@
+lib/stream/out_stream.ml: Buffer Char String Varint

@@ -1,0 +1,1 @@
+lib/stream/out_stream.mli:

@@ -1,0 +1,1 @@
+lib/stream/varint.ml: Buffer Char String Sys

@@ -1,0 +1,1 @@
+lib/stream/varint.mli: Buffer

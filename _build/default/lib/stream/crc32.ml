@@ -1,0 +1,26 @@
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           if !c land 1 = 1 then c := 0xedb88320 lxor (!c lsr 1)
+           else c := !c lsr 1
+         done;
+         !c))
+
+let update crc b =
+  let table = Lazy.force table in
+  table.((crc lxor b) land 0xff) lxor (crc lsr 8)
+
+let sub ?(crc = 0) s ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > String.length s then
+    invalid_arg "Crc32.sub";
+  let c = ref (crc lxor 0xffffffff) in
+  for i = pos to pos + len - 1 do
+    c := update !c (Char.code (String.unsafe_get s i))
+  done;
+  !c lxor 0xffffffff
+
+let string ?crc s = sub ?crc s ~pos:0 ~len:(String.length s)
+
+let bytes ?crc b = string ?crc (Bytes.unsafe_to_string b)

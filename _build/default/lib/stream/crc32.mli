@@ -1,0 +1,10 @@
+(** CRC-32 (IEEE 802.3 polynomial), used to frame checkpoint segments so that
+    torn or corrupted writes are detected during recovery. *)
+
+val string : ?crc:int -> string -> int
+(** [string s] is the CRC-32 of [s]; [?crc] continues a running checksum. *)
+
+val bytes : ?crc:int -> bytes -> int
+
+val sub : ?crc:int -> string -> pos:int -> len:int -> int
+(** Checksum of the substring [s.[pos .. pos+len-1]]. *)

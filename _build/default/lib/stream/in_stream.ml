@@ -1,0 +1,55 @@
+type t = { data : string; mutable pos : int }
+
+exception Corrupt of string
+
+let corrupt fmt = Format.kasprintf (fun s -> raise (Corrupt s)) fmt
+
+let of_string data = { data; pos = 0 }
+
+let of_string_at data ~pos =
+  if pos < 0 || pos > String.length data then
+    invalid_arg "In_stream.of_string_at";
+  { data; pos }
+
+let pos t = t.pos
+
+let remaining t = String.length t.data - t.pos
+
+let at_end t = t.pos >= String.length t.data
+
+let need t n what =
+  if remaining t < n then
+    corrupt "truncated input reading %s at offset %d (need %d, have %d)" what
+      t.pos n (remaining t)
+
+let read_int t =
+  match Varint.read t.data t.pos with
+  | v, next ->
+      t.pos <- next;
+      v
+  | exception Invalid_argument _ -> corrupt "truncated varint at %d" t.pos
+
+let read_byte t =
+  need t 1 "byte";
+  let b = Char.code (String.unsafe_get t.data t.pos) in
+  t.pos <- t.pos + 1;
+  b
+
+let read_fixed32 t =
+  need t 4 "fixed32";
+  let b i = Char.code (String.unsafe_get t.data (t.pos + i)) in
+  let v = b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24) in
+  t.pos <- t.pos + 4;
+  v
+
+let read_string t =
+  let len = read_int t in
+  if len < 0 then corrupt "negative string length %d" len;
+  need t len "string body";
+  let s = String.sub t.data t.pos len in
+  t.pos <- t.pos + len;
+  s
+
+let expect_byte t b what =
+  let got = read_byte t in
+  if got <> b then corrupt "bad %s: expected %#x, got %#x" what b got

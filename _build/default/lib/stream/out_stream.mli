@@ -1,0 +1,42 @@
+(** Output stream into which checkpoint records are written.
+
+    This is the analog of the paper's [OutputStream] (a [DataOutputStream]
+    composed with a [ByteArrayOutputStream]): checkpoints are built in memory
+    and flushed to stable storage separately (see {!Ickpt_core.Storage}).
+
+    Two flavours exist:
+    - a {e buffered} stream that accumulates bytes ({!create});
+    - a {e sink} that counts bytes without storing them ({!sink}), used to
+      measure pure traversal/encoding cost and for size estimation. *)
+
+type t
+
+val create : ?initial_size:int -> unit -> t
+(** A fresh buffered stream. *)
+
+val sink : unit -> t
+(** A stream that discards data but still counts {!size}. *)
+
+val is_sink : t -> bool
+
+val write_int : t -> int -> unit
+(** Varint-encoded signed integer (the workhorse: field values and ids). *)
+
+val write_byte : t -> int -> unit
+(** Single raw byte; [n] is truncated to 8 bits. *)
+
+val write_fixed32 : t -> int -> unit
+(** Little-endian 4-byte unsigned value, for headers and checksums. *)
+
+val write_string : t -> string -> unit
+(** Length-prefixed string. *)
+
+val size : t -> int
+(** Number of bytes written so far. *)
+
+val contents : t -> string
+(** All bytes written so far.
+    @raise Invalid_argument on a sink stream. *)
+
+val reset : t -> unit
+(** Forget all written data; [size] returns to 0. *)

@@ -1,0 +1,21 @@
+(** Variable-length integer encoding (LEB128 with zigzag for signed values).
+
+    Integers are first zigzag-mapped so that small negative values also get
+    short encodings, then emitted base-128, least-significant group first.
+    The encoding covers the full range of OCaml's native [int]. *)
+
+val zigzag : int -> int
+(** [zigzag n] maps signed to unsigned: 0, -1, 1, -2, ... become 0, 1, 2, 3. *)
+
+val unzigzag : int -> int
+(** Inverse of {!zigzag}. *)
+
+val write : Buffer.t -> int -> unit
+(** [write buf n] appends the zigzag-LEB128 encoding of [n] to [buf]. *)
+
+val encoded_size : int -> int
+(** [encoded_size n] is the number of bytes {!write} emits for [n]. *)
+
+val read : string -> int -> int * int
+(** [read s pos] decodes a varint at [pos], returning [(value, next_pos)].
+    @raise Invalid_argument if the encoding runs past the end of [s]. *)

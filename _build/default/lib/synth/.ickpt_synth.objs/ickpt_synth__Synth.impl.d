@@ -1,0 +1,1 @@
+lib/synth/synth.ml: Array Barrier Format Heap Ickpt_runtime Jspec Model Random Schema

@@ -1,0 +1,1 @@
+lib/synth/synth.mli: Format Heap Ickpt_runtime Jspec Model Random Schema

@@ -1,0 +1,162 @@
+open Ickpt_runtime
+
+type config = {
+  n_structures : int;
+  n_lists : int;
+  list_len : int;
+  n_int_fields : int;
+  pct_modified : int;
+  modified_lists : int;
+  last_only : bool;
+  seed : int;
+}
+
+let default_config =
+  { n_structures = 20_000;
+    n_lists = 5;
+    list_len = 5;
+    n_int_fields = 10;
+    pct_modified = 100;
+    modified_lists = 5;
+    last_only = false;
+    seed = 0xC0FFEE }
+
+let paper_total_objects c =
+  c.n_structures * (1 + (c.n_lists * c.list_len))
+
+type t = {
+  config : config;
+  schema : Schema.t;
+  heap : Heap.t;
+  compound : Model.klass;
+  element : Model.klass;
+  roots : Model.obj array;
+  rng : Random.State.t;
+}
+
+let validate c =
+  if c.n_structures < 1 then invalid_arg "Synth: n_structures < 1";
+  if c.n_lists < 1 then invalid_arg "Synth: n_lists < 1";
+  if c.list_len < 1 then invalid_arg "Synth: list_len < 1";
+  if c.n_int_fields < 0 then invalid_arg "Synth: n_int_fields < 0";
+  if c.pct_modified < 0 || c.pct_modified > 100 then
+    invalid_arg "Synth: pct_modified out of range";
+  if c.modified_lists < 0 || c.modified_lists > c.n_lists then
+    invalid_arg "Synth: modified_lists out of range"
+
+let build config =
+  validate config;
+  let schema = Schema.create () in
+  let element =
+    Schema.declare schema ~name:"Element" ~ints:config.n_int_fields
+      ~children:1 ()
+  in
+  let compound =
+    Schema.declare schema ~name:"Compound" ~ints:0 ~children:config.n_lists ()
+  in
+  let heap = Heap.create schema in
+  let build_list s l =
+    (* Build back-to-front so next pointers are available. *)
+    let rec go tail k =
+      if k < 0 then tail
+      else begin
+        let e = Heap.alloc heap element in
+        for f = 0 to config.n_int_fields - 1 do
+          e.Model.ints.(f) <- (s * 31) + (l * 7) + (k * 3) + f
+        done;
+        e.Model.children.(0) <- tail;
+        go (Some e) (k - 1)
+      end
+    in
+    go None (config.list_len - 1)
+  in
+  let roots =
+    Array.init config.n_structures (fun s ->
+        let o = Heap.alloc heap compound in
+        for l = 0 to config.n_lists - 1 do
+          o.Model.children.(l) <- build_list s l
+        done;
+        o)
+  in
+  { config;
+    schema;
+    heap;
+    compound;
+    element;
+    roots;
+    rng = Random.State.make [| config.seed |] }
+
+let base_checkpoint t = Heap.clear_all_modified t.heap
+
+let roots t = Array.to_list t.roots
+
+let element_count t =
+  t.config.n_structures * t.config.n_lists * t.config.list_len
+
+(* Walk list [l] of structure [root], dirtying the candidate positions with
+   probability pct/100. Candidates are all elements, or only the last when
+   [last_only]. *)
+let mutate_list t root l =
+  let c = t.config in
+  let dirtied = ref 0 in
+  let modify e =
+    if Random.State.int t.rng 100 < c.pct_modified then begin
+      (if c.n_int_fields > 0 then
+         Barrier.set_int e 0 (e.Model.ints.(0) + 1)
+       else Barrier.touch e);
+      incr dirtied
+    end
+  in
+  let rec walk pos = function
+    | None -> ()
+    | Some e ->
+        if (not c.last_only) || pos = c.list_len - 1 then modify e;
+        walk (pos + 1) e.Model.children.(0)
+  in
+  walk 0 root.Model.children.(l);
+  !dirtied
+
+let mutate_round t =
+  let c = t.config in
+  let dirtied = ref 0 in
+  Array.iter
+    (fun root ->
+      for l = 0 to c.modified_lists - 1 do
+        dirtied := !dirtied + mutate_list t root l
+      done)
+    t.roots;
+  !dirtied
+
+(* Shapes. The element chain is unrolled to the exact list length; the
+   compound's child slots carry one chain each. *)
+let compound_shape t ~compound_status ~list_status =
+  let c = t.config in
+  Jspec.Sclass.shape ~status:compound_status t.compound
+    (Array.init c.n_lists (fun l ->
+         Jspec.Sclass.Exact
+           (Jspec.Sclass.chain ~status_at:(list_status l) t.element ~next_slot:0
+              ~len:c.list_len)))
+
+let shape_structure t =
+  compound_shape t ~compound_status:Jspec.Sclass.Tracked
+    ~list_status:(fun _ _ -> Jspec.Sclass.Tracked)
+
+let shape_modified_lists t =
+  let c = t.config in
+  compound_shape t ~compound_status:Jspec.Sclass.Clean ~list_status:(fun l _ ->
+      if l < c.modified_lists then Jspec.Sclass.Tracked else Jspec.Sclass.Clean)
+
+let shape_last_only t =
+  let c = t.config in
+  compound_shape t ~compound_status:Jspec.Sclass.Clean ~list_status:(fun l pos ->
+      if l < c.modified_lists && pos = c.list_len - 1 then Jspec.Sclass.Tracked
+      else Jspec.Sclass.Clean)
+
+let pp_config ppf c =
+  Format.fprintf ppf
+    "%d structures x %d lists x len %d, %d int fields, %d%% modified, %d \
+     modifiable lists%s, seed %#x"
+    c.n_structures c.n_lists c.list_len c.n_int_fields c.pct_modified
+    c.modified_lists
+    (if c.last_only then ", last element only" else "")
+    c.seed

@@ -1,0 +1,78 @@
+(** The paper's synthetic application (Section 5): a set of compound
+    structures, each holding [n_lists] linked lists of [list_len] elements,
+    each element carrying [n_int_fields] integer fields. Between
+    checkpoints, a driver randomly modifies elements subject to the
+    experiment's constraints:
+
+    - [pct_modified] — the percentage of {e possibly modified} elements
+      actually modified in a round (the figures' 100% / 50% / 25% series);
+    - [modified_lists] — how many of the lists may contain modified
+      elements at all (Fig. 9's 1 / 3 / 5 series);
+    - [last_only] — whether a modified element may only be the last of its
+      list (Fig. 10's configuration).
+
+    The three [shape_*] functions build the specialization classes for the
+    three levels of static knowledge the paper evaluates. *)
+
+open Ickpt_runtime
+
+type config = {
+  n_structures : int;  (** paper: 20,000 *)
+  n_lists : int;  (** paper: 5 *)
+  list_len : int;  (** paper: 1 or 5 *)
+  n_int_fields : int;  (** paper: 1 or 10 *)
+  pct_modified : int;  (** 100, 50 or 25 *)
+  modified_lists : int;  (** 1..n_lists *)
+  last_only : bool;
+  seed : int;
+}
+
+val default_config : config
+(** Paper-scale defaults: 20,000 structures, 5 lists of length 5, 10 int
+    fields, 100% modified, all lists modifiable, any position. *)
+
+val paper_total_objects : config -> int
+(** Objects the configuration allocates (structures + elements). *)
+
+type t = {
+  config : config;
+  schema : Schema.t;
+  heap : Heap.t;
+  compound : Model.klass;
+  element : Model.klass;
+  roots : Model.obj array;
+  rng : Random.State.t;
+}
+
+val build : config -> t
+(** Allocate the whole population. Elements start with deterministic field
+    values; all objects start modified (they are fresh). *)
+
+val base_checkpoint : t -> unit
+(** Clear every [modified] flag: the state right after a checkpoint. *)
+
+val mutate_round : t -> int
+(** One inter-checkpoint mutation round honouring the configuration's
+    constraints; returns the number of elements dirtied. Deterministic in
+    the configuration seed. *)
+
+val roots : t -> Model.obj list
+
+(** {1 Specialization classes} (paper Figs. 8, 9, 10)} *)
+
+val shape_structure : t -> Jspec.Sclass.shape
+(** Structure only: every node [Tracked] — removes dispatch and inlines the
+    traversal, keeps every test (Fig. 8). *)
+
+val shape_modified_lists : t -> Jspec.Sclass.shape
+(** Structure + the set of lists that may contain modified elements: lists
+    beyond [modified_lists] and the compound root are [Clean] (Fig. 9). *)
+
+val shape_last_only : t -> Jspec.Sclass.shape
+(** Structure + positions: within the possibly-modified lists only the
+    last element is [Tracked] (Fig. 10). Meaningful when
+    [config.last_only]. *)
+
+val element_count : t -> int
+
+val pp_config : Format.formatter -> config -> unit

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Attrs Bta_phase Decls Engine Eta_phase Filename Ickpt_analysis Ickpt_core Ickpt_runtime Jspec List Minic Option Sea Sys

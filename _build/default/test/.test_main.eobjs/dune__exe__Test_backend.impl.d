@@ -1,0 +1,1 @@
+test/test_backend.ml: Alcotest Backend Ickpt_backend Ickpt_core Ickpt_harness Ickpt_stream Ickpt_synth Jspec List Synth

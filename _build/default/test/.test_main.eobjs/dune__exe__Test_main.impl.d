@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_analysis Test_backend Test_core Test_extras Test_jspec Test_minic Test_more Test_runtime Test_stream Test_synth

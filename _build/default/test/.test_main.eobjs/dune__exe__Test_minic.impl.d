@@ -1,0 +1,1 @@
+test/test_minic.ml: Alcotest Ast Check Gen Interp Lexer List Minic Parser Pp Printexc QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Barrier Deep_eq Heap Ickpt_runtime Ickpt_stream List Model Option QCheck2 QCheck_alcotest Schema String Test_util

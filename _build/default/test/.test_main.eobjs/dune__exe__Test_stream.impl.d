@@ -1,0 +1,1 @@
+test/test_stream.ml: Alcotest Buffer Bytes Char Crc32 Ickpt_stream In_stream List Out_stream Printf QCheck2 QCheck_alcotest String Varint

@@ -1,0 +1,1 @@
+test/test_synth.ml: Alcotest Array Barrier Deep_eq Heap Ickpt_core Ickpt_runtime Ickpt_stream Ickpt_synth Jspec List Model Synth

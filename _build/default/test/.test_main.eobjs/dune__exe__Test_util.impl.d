@@ -1,0 +1,1 @@
+test/test_util.ml: Array Barrier Hashtbl Heap Ickpt_core Ickpt_runtime Ickpt_stream List Model Option QCheck2 Schema String

@@ -1,0 +1,520 @@
+open Ickpt_runtime
+open Jspec
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+(* ---- pure descriptions of shapes and conforming instances ------------- *)
+
+(* Shapes reference Model.klass values, which are tied to one schema. To
+   compare a generic run and a specialized run byte-for-byte we need two
+   heaps with identical object ids, so every description here is pure data,
+   instantiated per run against a freshly created (but identically
+   declared) environment. *)
+
+type kname = K_leaf | K_pair | K_node
+
+type sdesc = { dk : kname; dstatus : Sclass.status; dchildren : cdesc array }
+
+and cdesc =
+  | CD_null
+  | CD_exact of sdesc
+  | CD_nullable of sdesc
+  | CD_unknown
+  | CD_clean_opaque
+
+let n_children = function K_leaf -> 0 | K_pair -> 2 | K_node -> 3
+
+let n_ints = function K_leaf -> 1 | K_pair -> 2 | K_node -> 3
+
+(* An instance conforming to an sdesc: field values, per-node dirtiness
+   (only honoured on Tracked nodes), resolved presence for nullable
+   children, and arbitrary trees behind Unknown children. *)
+type inst = { ints : int list; dirty : bool; ichildren : ichild array }
+
+and ichild =
+  | IC_absent
+  | IC_conform of inst
+  | IC_unknown of Test_util.tree option * bool (* dirty its root? *)
+
+let klass_of env = function
+  | K_leaf -> env.Test_util.leaf
+  | K_pair -> env.Test_util.pair
+  | K_node -> env.Test_util.node
+
+let rec mk_shape env (d : sdesc) : Sclass.shape =
+  Sclass.shape ~status:d.dstatus (klass_of env d.dk)
+    (Array.map
+       (function
+         | CD_null -> Sclass.Null_child
+         | CD_exact s -> Sclass.Exact (mk_shape env s)
+         | CD_nullable s -> Sclass.Nullable (mk_shape env s)
+         | CD_unknown -> Sclass.Unknown
+         | CD_clean_opaque -> Sclass.Clean_opaque)
+       d.dchildren)
+
+(* Build a conforming object graph; returns the root. Also returns the
+   mutation thunks to apply after the base checkpoint (dirtying writes on
+   nodes the instance marks dirty). *)
+let rec build_inst env (d : sdesc) (i : inst) ~muts =
+  let o = Heap.alloc env.Test_util.heap (klass_of env d.dk) in
+  List.iteri
+    (fun slot v -> if slot < Array.length o.Model.ints then o.Model.ints.(slot) <- v)
+    i.ints;
+  Array.iteri
+    (fun slot cd ->
+      let ic = i.ichildren.(slot) in
+      match (cd, ic) with
+      | CD_null, _ | _, IC_absent -> ()
+      | (CD_exact s | CD_nullable s), IC_conform ci ->
+          o.Model.children.(slot) <- Some (build_inst env s ci ~muts)
+      | (CD_unknown | CD_clean_opaque), IC_unknown (t, dirty_root) ->
+          (match t with
+          | None -> ()
+          | Some t ->
+              let c = Test_util.build env t in
+              o.Model.children.(slot) <- Some c;
+              if dirty_root then
+                muts := (fun () -> Barrier.touch c) :: !muts)
+      | _, _ -> ())
+    d.dchildren;
+  if i.dirty && d.dstatus = Sclass.Tracked then
+    muts :=
+      (fun () ->
+        if Array.length o.Model.ints > 0 then
+          Barrier.set_int o 0 (o.Model.ints.(0) + 1)
+        else Barrier.touch o)
+      :: !muts;
+  o
+
+(* Instantiate description + instance in a fresh env, clear flags (the
+   "previous checkpoint"), apply the dirtying writes, and hand the root and
+   shape to a runner; return the bytes it wrote plus the root for state
+   comparison. *)
+let run_case (d, i) runner =
+  let env = Test_util.make_env () in
+  let muts = ref [] in
+  let root = build_inst env d i ~muts in
+  Heap.clear_all_modified env.Test_util.heap;
+  List.iter (fun f -> f ()) (List.rev !muts);
+  let out = Ickpt_stream.Out_stream.create () in
+  runner env out root (mk_shape env d);
+  (Ickpt_stream.Out_stream.contents out, root)
+
+let generic_runner _env d root _shape = Ickpt_core.Checkpointer.incremental d root
+
+let interp_generic_runner _env d root _shape =
+  Interp.run_program Generic_method.program d root
+
+let compiled_generic_runner _env d root _shape =
+  (Compile.program Generic_method.program) d root
+
+let interp_spec_runner _env d root shape =
+  let r = Pe.specialize shape in
+  Interp.run_residual r.Pe.body ~n_vars:r.Pe.n_vars d root
+
+let compiled_spec_runner _env d root shape =
+  (Compile.residual (Pe.specialize shape)) d root
+
+(* ---- generators -------------------------------------------------------- *)
+
+let sdesc_gen : sdesc QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let kname_gen = oneofl [ K_leaf; K_pair; K_node ] in
+  let status_gen = oneofl [ Sclass.Clean; Sclass.Tracked ] in
+  sized
+  @@ fix (fun self n ->
+         let* dk = kname_gen in
+         let* dstatus = status_gen in
+         let child =
+           if n <= 1 then
+             oneof [ return CD_null; return CD_unknown; return CD_clean_opaque ]
+           else
+             frequency
+               [ (2, return CD_null);
+                 (1, return CD_unknown);
+                 (1, return CD_clean_opaque);
+                 (3, map (fun s -> CD_exact s) (self (n / 2)));
+                 (2, map (fun s -> CD_nullable s) (self (n / 2))) ]
+         in
+         let* dchildren =
+           array_size (return (n_children dk)) child
+         in
+         return { dk; dstatus; dchildren })
+
+let rec inst_gen (d : sdesc) : inst QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let* ints = list_size (return (n_ints d.dk)) small_int in
+  let* dirty = bool in
+  let* ichildren =
+    flatten_a
+      (Array.map
+         (function
+           | CD_null -> return IC_absent
+           | CD_exact s -> map (fun i -> IC_conform i) (inst_gen s)
+           | CD_nullable s ->
+               let* present = bool in
+               if present then map (fun i -> IC_conform i) (inst_gen s)
+               else return IC_absent
+           | CD_unknown ->
+               let* t = opt Test_util.tree_gen in
+               let* dirty = bool in
+               return (IC_unknown (t, dirty))
+           | CD_clean_opaque ->
+               (* the declaration promises the subtree stays clean *)
+               let* t = opt Test_util.tree_gen in
+               return (IC_unknown (t, false)))
+         d.dchildren)
+  in
+  return { ints; dirty; ichildren }
+
+let case_gen : (sdesc * inst) QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let* d = sdesc_gen in
+  let* i = inst_gen d in
+  return (d, i)
+
+(* ---- deterministic specialization unit tests --------------------------- *)
+
+let count_modified_tests body =
+  let n = ref 0 in
+  let rec stmt = function
+    | Cklang.If (Cklang.Modified _, t, f) ->
+        incr n;
+        List.iter stmt t;
+        List.iter stmt f
+    | Cklang.If (_, t, f) ->
+        List.iter stmt t;
+        List.iter stmt f
+    | Cklang.Let (_, _, b) | Cklang.For (_, _, _, b) -> List.iter stmt b
+    | Cklang.Write _ | Cklang.Reset_modified _ | Cklang.Invoke_virtual _
+    | Cklang.Call _ | Cklang.Call_generic _ ->
+        ()
+  in
+  List.iter stmt body;
+  !n
+
+let count_generic_calls body =
+  let n = ref 0 in
+  let rec stmt = function
+    | Cklang.Call_generic _ -> incr n
+    | Cklang.If (_, t, f) ->
+        List.iter stmt t;
+        List.iter stmt f
+    | Cklang.Let (_, _, b) | Cklang.For (_, _, _, b) -> List.iter stmt b
+    | Cklang.Write _ | Cklang.Reset_modified _ | Cklang.Invoke_virtual _
+    | Cklang.Call _ ->
+        ()
+  in
+  List.iter stmt body;
+  !n
+
+let all_clean_shape_eliminates () =
+  let env = Test_util.make_env () in
+  let shape =
+    Sclass.chain ~status_at:(fun _ -> Sclass.Clean) env.Test_util.node
+      ~next_slot:0 ~len:4
+  in
+  let r = Pe.specialize shape in
+  check_int "empty residual body" 0 (List.length r.Pe.body)
+
+let tracked_leaf_residual () =
+  let env = Test_util.make_env () in
+  let shape = Sclass.leaf env.Test_util.pair in
+  let r = Pe.specialize shape in
+  (* Expected: one modified test, recording 2 ints + 2 null-child ids. *)
+  check_int "one test" 1 (count_modified_tests r.Pe.body);
+  match r.Pe.body with
+  | [ Cklang.If (Cklang.Modified (Cklang.Var 0), then_branch, []) ] ->
+      (* id, kid, 2 ints, 2 child ids, reset *)
+      check_int "then-branch length" 7 (List.length then_branch)
+  | _ -> Alcotest.failf "unexpected residual:@.%a" Cklang.pp_stmts r.Pe.body
+
+let chain_last_tracked_tests () =
+  let env = Test_util.make_env () in
+  (* Length-5 chain through Node slot 0; only the last element tracked:
+     the paper's Figure 10 configuration. *)
+  let shape =
+    Sclass.chain
+      ~status_at:(fun i -> if i = 4 then Sclass.Tracked else Sclass.Clean)
+      env.Test_util.node ~next_slot:0 ~len:5
+  in
+  let r = Pe.specialize shape in
+  check_int "exactly one residual test" 1 (count_modified_tests r.Pe.body);
+  let bta = Bta.analyze shape in
+  check_int "bta agrees: 4 static tests" 4 (Bta.static_test_count bta);
+  check_int "bta agrees: 1 dynamic test" 1 (Bta.dynamic_test_count bta)
+
+let clean_opaque_eliminates_traversal () =
+  let env = Test_util.make_env () in
+  (* A tracked parent whose child subtree is declared wholly clean: the
+     parent's record keeps the (dynamic) child id, but no traversal code
+     may remain. *)
+  let shape =
+    Sclass.shape env.Test_util.pair
+      [| Sclass.Clean_opaque; Sclass.Null_child |]
+  in
+  let r = Pe.specialize shape in
+  check_int "one test (parent only)" 1 (count_modified_tests r.Pe.body);
+  check_int "no generic fallback" 0 (count_generic_calls r.Pe.body);
+  (* Byte equivalence with the generic algorithm on a conforming heap. *)
+  let mk () =
+    let env = Test_util.make_env () in
+    let child = Test_util.build env (Test_util.Leaf 7) in
+    let o = Heap.alloc env.Test_util.heap env.Test_util.pair in
+    o.Model.children.(0) <- Some child;
+    Heap.clear_all_modified env.Test_util.heap;
+    Barrier.set_int o 0 99;
+    (env, o)
+  in
+  let _, o1 = mk () in
+  let d1 = Ickpt_stream.Out_stream.create () in
+  Ickpt_core.Checkpointer.incremental d1 o1;
+  let _, o2 = mk () in
+  let d2 = Ickpt_stream.Out_stream.create () in
+  (Compile.residual r) d2 o2;
+  check_str "same bytes"
+    (Ickpt_stream.Out_stream.contents d1)
+    (Ickpt_stream.Out_stream.contents d2)
+
+let unknown_child_falls_back () =
+  let env = Test_util.make_env () in
+  let shape =
+    Sclass.shape env.Test_util.pair [| Sclass.Unknown; Sclass.Null_child |]
+  in
+  let r = Pe.specialize shape in
+  check_int "one generic fallback" 1 (count_generic_calls r.Pe.body)
+
+let clean_node_still_traversed_for_dirty_child () =
+  let env = Test_util.make_env () in
+  (* Clean parent, tracked child: parent contributes no test and no record,
+     but the traversal to the child must remain. *)
+  let shape =
+    Sclass.shape ~status:Sclass.Clean env.Test_util.pair
+      [| Sclass.Exact (Sclass.leaf env.Test_util.leaf); Sclass.Null_child |]
+  in
+  let r = Pe.specialize shape in
+  check_int "child test survives" 1 (count_modified_tests r.Pe.body);
+  check_bool "body nonempty" true (r.Pe.body <> [])
+
+let bta_consistency () =
+  let env = Test_util.make_env () in
+  let shapes =
+    [ Sclass.leaf env.Test_util.leaf;
+      Sclass.leaf ~status:Sclass.Clean env.Test_util.leaf;
+      Sclass.chain env.Test_util.node ~next_slot:0 ~len:3;
+      Sclass.shape ~status:Sclass.Clean env.Test_util.pair
+        [| Sclass.Nullable (Sclass.leaf env.Test_util.leaf); Sclass.Unknown |]
+    ]
+  in
+  List.iter
+    (fun shape ->
+      let r = Pe.specialize shape in
+      let node = Bta.analyze shape in
+      check_bool "residual empty iff not traversed" true
+        ((r.Pe.body = []) = not node.Bta.traversed);
+      check_int "dynamic tests agree" (Bta.dynamic_test_count node)
+        (count_modified_tests r.Pe.body))
+    shapes
+
+let java_pp_renders () =
+  let env = Test_util.make_env () in
+  let shape =
+    Sclass.shape env.Test_util.pair
+      [| Sclass.Exact (Sclass.leaf env.Test_util.leaf); Sclass.Null_child |]
+  in
+  let out = Java_pp.to_string (Pe.specialize shape) in
+  check_bool "mentions writeInt" true
+    (Test_util.contains_substring out "d.writeInt");
+  check_bool "mentions modified()" true
+    (Test_util.contains_substring out ".modified()");
+  check_bool "declares the child" true (Test_util.contains_substring out "Leaf v")
+
+(* ---- guard -------------------------------------------------------------- *)
+
+let guard_accepts_conforming () =
+  let env = Test_util.make_env () in
+  let shape =
+    Sclass.shape env.Test_util.pair
+      [| Sclass.Exact (Sclass.leaf env.Test_util.leaf); Sclass.Nullable (Sclass.leaf env.Test_util.leaf) |]
+  in
+  let child = Heap.alloc env.Test_util.heap env.Test_util.leaf in
+  let o = Heap.alloc env.Test_util.heap env.Test_util.pair in
+  o.Model.children.(0) <- Some child;
+  Alcotest.(check (list string))
+    "no violations" []
+    (List.map (fun v -> v.Guard.reason) (Guard.check shape o))
+
+let guard_detects_violations () =
+  let env = Test_util.make_env () in
+  let leaf_shape = Sclass.leaf ~status:Sclass.Clean env.Test_util.leaf in
+  let shape =
+    Sclass.shape env.Test_util.pair
+      [| Sclass.Exact leaf_shape; Sclass.Null_child |]
+  in
+  (* Violation 1: missing Exact child. *)
+  let o = Heap.alloc env.Test_util.heap env.Test_util.pair in
+  check_bool "missing child detected" true (Guard.check shape o <> []);
+  (* Violation 2: clean child is dirty. *)
+  let child = Heap.alloc env.Test_util.heap env.Test_util.leaf in
+  o.Model.children.(0) <- Some child;
+  Heap.clear_all_modified env.Test_util.heap;
+  Barrier.touch child;
+  check_bool "dirty clean-node detected" true (Guard.check shape o <> []);
+  (* Violation 3: wrong class. *)
+  child.Model.info.Model.modified <- false;
+  let wrong = Heap.alloc env.Test_util.heap env.Test_util.node in
+  wrong.Model.info.Model.modified <- false;
+  o.Model.children.(0) <- Some wrong;
+  check_bool "class mismatch detected" true (Guard.check shape o <> []);
+  (* Violation 4: non-null child declared null. *)
+  o.Model.children.(0) <- Some child;
+  o.Model.children.(1) <- Some child;
+  check_bool "unexpected child detected" true (Guard.check shape o <> [])
+
+let guard_checked_runner () =
+  let env = Test_util.make_env () in
+  let shape = Sclass.leaf ~status:Sclass.Clean env.Test_util.leaf in
+  let o = Heap.alloc env.Test_util.heap env.Test_util.leaf in
+  let runner = Guard.checked shape (fun _ _ -> Alcotest.fail "must not run") in
+  let d = Ickpt_stream.Out_stream.create () in
+  (* o is dirty (fresh) but declared clean. *)
+  match runner d o with
+  | () -> Alcotest.fail "expected Violated"
+  | exception Guard.Violated _ -> ()
+
+let compiled_null_violation () =
+  let env = Test_util.make_env () in
+  let shape =
+    Sclass.shape env.Test_util.pair
+      [| Sclass.Exact (Sclass.leaf env.Test_util.leaf); Sclass.Null_child |]
+  in
+  let runner = Compile.residual (Pe.specialize shape) in
+  let o = Heap.alloc env.Test_util.heap env.Test_util.pair in
+  (* Child 0 is null although declared present. *)
+  let d = Ickpt_stream.Out_stream.create () in
+  match runner d o with
+  | () -> Alcotest.fail "expected Shape_violation"
+  | exception Compile.Shape_violation _ -> ()
+
+(* ---- plan_opt ----------------------------------------------------------- *)
+
+let plan_opt_simplifies () =
+  let open Cklang in
+  Alcotest.(check int)
+    "dead if dropped" 0
+    (List.length (Plan_opt.simplify [ If (Modified (Var 0), [], []) ]));
+  Alcotest.(check int)
+    "static if folded" 1
+    (List.length
+       (Plan_opt.simplify [ If (Const 1, [ Write (Const 1) ], [ Write (Const 2); Write (Const 3) ]) ]));
+  (match Plan_opt.simplify [ If (Const 0, [ Write (Const 1) ], [ Write (Const 2) ]) ] with
+  | [ Write (Const 2) ] -> ()
+  | other -> Alcotest.failf "unexpected: %a" pp_stmts other);
+  (match Plan_opt.simplify [ Let (1, Child (Var 0, Const 0), []) ] with
+  | [] -> ()
+  | _ -> Alcotest.fail "empty let kept");
+  (match Plan_opt.simplify_expr (Not (Not (Modified (Var 0)))) with
+  | Modified (Var 0) -> ()
+  | _ -> Alcotest.fail "double negation kept");
+  match Plan_opt.simplify_expr (Cond (Const 1, Const 5, Const 6)) with
+  | Const 5 -> ()
+  | _ -> Alcotest.fail "static cond kept"
+
+(* ---- the I3 / I5 equivalence properties -------------------------------- *)
+
+let equal_runs (d, i) runner_a runner_b =
+  let bytes_a, root_a = run_case (d, i) runner_a in
+  let bytes_b, root_b = run_case (d, i) runner_b in
+  bytes_a = bytes_b && Deep_eq.equal root_a root_b
+
+let prop_spec_interp_equals_generic =
+  QCheck2.Test.make ~name:"specialized (interp) == generic bytes" ~count:150
+    case_gen (fun case -> equal_runs case generic_runner interp_spec_runner)
+
+let prop_spec_compiled_equals_generic =
+  QCheck2.Test.make ~name:"specialized (compiled) == generic bytes" ~count:150
+    case_gen (fun case -> equal_runs case generic_runner compiled_spec_runner)
+
+let prop_generic_interp_equals_core =
+  QCheck2.Test.make ~name:"generic cklang interp == core checkpointer"
+    ~count:100 case_gen (fun case ->
+      equal_runs case generic_runner interp_generic_runner)
+
+let prop_generic_compiled_equals_core =
+  QCheck2.Test.make ~name:"generic cklang compiled == core checkpointer"
+    ~count:100 case_gen (fun case ->
+      equal_runs case generic_runner compiled_generic_runner)
+
+(* Plan_opt differential testing: disabling the cleanup pass must not
+   change the bytes written, and the cleaned plan is never larger. *)
+let unoptimized_spec_runner _env d root shape =
+  let r = Jspec.Pe.specialize ~optimize:false shape in
+  Interp.run_residual r.Pe.body ~n_vars:r.Pe.n_vars d root
+
+let prop_plan_opt_preserves_semantics =
+  QCheck2.Test.make ~name:"Plan_opt.simplify preserves specialized bytes"
+    ~count:100 case_gen (fun case ->
+      equal_runs case interp_spec_runner unoptimized_spec_runner)
+
+let prop_plan_opt_never_grows =
+  QCheck2.Test.make ~name:"Plan_opt.simplify never grows residual code"
+    ~count:100 sdesc_gen (fun d ->
+      let env = Test_util.make_env () in
+      let shape = mk_shape env d in
+      let opt = Jspec.Pe.specialize shape in
+      let raw = Jspec.Pe.specialize ~optimize:false shape in
+      Cklang.stmt_count opt.Pe.body <= Cklang.stmt_count raw.Pe.body)
+
+(* The cache key is exactly structural equality of shapes. *)
+let prop_cache_key_is_structural_equality =
+  QCheck2.Test.make ~name:"Spec_cache key == structural shape equality"
+    ~count:200
+    QCheck2.Gen.(pair sdesc_gen sdesc_gen)
+    (fun (d1, d2) ->
+      let env = Test_util.make_env () in
+      let k1 = Jspec.Spec_cache.shape_key (mk_shape env d1) in
+      let k2 = Jspec.Spec_cache.shape_key (mk_shape env d2) in
+      (k1 = k2) = (d1 = d2))
+
+let prop_guard_accepts_conforming_cases =
+  QCheck2.Test.make ~name:"guard accepts every conforming instance" ~count:100
+    case_gen (fun (d, i) ->
+      let env = Test_util.make_env () in
+      let muts = ref [] in
+      let root = build_inst env d i ~muts in
+      Heap.clear_all_modified env.Test_util.heap;
+      List.iter (fun f -> f ()) (List.rev !muts);
+      Guard.check (mk_shape env d) root = [])
+
+let suites =
+  [ ( "jspec-pe",
+      [ Alcotest.test_case "all-clean shape eliminates" `Quick
+          all_clean_shape_eliminates;
+        Alcotest.test_case "tracked leaf residual" `Quick tracked_leaf_residual;
+        Alcotest.test_case "chain last tracked" `Quick chain_last_tracked_tests;
+        Alcotest.test_case "unknown child falls back" `Quick
+          unknown_child_falls_back;
+        Alcotest.test_case "clean_opaque eliminates traversal" `Quick
+          clean_opaque_eliminates_traversal;
+        Alcotest.test_case "clean node traversed for dirty child" `Quick
+          clean_node_still_traversed_for_dirty_child;
+        Alcotest.test_case "bta consistency" `Quick bta_consistency;
+        Alcotest.test_case "java pp renders" `Quick java_pp_renders;
+        Alcotest.test_case "plan_opt simplifies" `Quick plan_opt_simplifies ] );
+    ( "jspec-guard",
+      [ Alcotest.test_case "accepts conforming" `Quick guard_accepts_conforming;
+        Alcotest.test_case "detects violations" `Quick guard_detects_violations;
+        Alcotest.test_case "checked runner" `Quick guard_checked_runner;
+        Alcotest.test_case "compiled null violation" `Quick
+          compiled_null_violation ] );
+    ( "jspec-equivalence",
+      [ QCheck_alcotest.to_alcotest prop_spec_interp_equals_generic;
+        QCheck_alcotest.to_alcotest prop_spec_compiled_equals_generic;
+        QCheck_alcotest.to_alcotest prop_generic_interp_equals_core;
+        QCheck_alcotest.to_alcotest prop_generic_compiled_equals_core;
+        QCheck_alcotest.to_alcotest prop_guard_accepts_conforming_cases;
+        QCheck_alcotest.to_alcotest prop_plan_opt_preserves_semantics;
+        QCheck_alcotest.to_alcotest prop_plan_opt_never_grows;
+        QCheck_alcotest.to_alcotest prop_cache_key_is_structural_equality ] ) ]

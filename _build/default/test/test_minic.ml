@@ -1,0 +1,270 @@
+open Minic
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ---- lexer -------------------------------------------------------------- *)
+
+let lexer_basics () =
+  let toks = Lexer.tokenize "int x = 42; // comment\nx = x + 1;" in
+  let kinds = List.map fst toks in
+  check_bool "has ident" true (List.mem (Lexer.IDENT "x") kinds);
+  check_bool "has literal" true (List.mem (Lexer.INT_LIT 42) kinds);
+  check_bool "ends with eof" true (List.nth kinds (List.length kinds - 1) = Lexer.EOF);
+  (* line numbers advance past newlines *)
+  let _, last_line = List.nth toks (List.length toks - 1) in
+  check_int "line 2" 2 last_line
+
+let lexer_comments () =
+  let toks = Lexer.tokenize "/* block \n comment */ int y;" in
+  check_int "only 4 tokens" 4 (List.length toks)
+
+let lexer_operators () =
+  let src = "<= >= == != && || < > = ! + - * / %" in
+  let kinds = List.map fst (Lexer.tokenize src) in
+  let expected =
+    [ Lexer.LE; Lexer.GE; Lexer.EQ; Lexer.NE; Lexer.ANDAND; Lexer.OROR;
+      Lexer.LT; Lexer.GT; Lexer.ASSIGN; Lexer.NOT; Lexer.PLUS; Lexer.MINUS;
+      Lexer.STAR; Lexer.SLASH; Lexer.PERCENT; Lexer.EOF ]
+  in
+  check_bool "operator tokens" true (kinds = expected)
+
+let lexer_errors () =
+  (match Lexer.tokenize "int @ x;" with
+  | _ -> Alcotest.fail "expected Lex_error"
+  | exception Lexer.Lex_error _ -> ());
+  match Lexer.tokenize "/* never closed" with
+  | _ -> Alcotest.fail "expected Lex_error on unterminated comment"
+  | exception Lexer.Lex_error _ -> ()
+
+(* ---- parser ------------------------------------------------------------- *)
+
+let parse_precedence () =
+  let p = Parser.parse "int main() { return 1 + 2 * 3; }" in
+  match (List.hd p.Ast.funcs).Ast.f_body with
+  | [ { Ast.node = Ast.S_return (Some e); _ } ] -> (
+      match e with
+      | Ast.E_binop (Ast.B_add, Ast.E_int 1,
+                     Ast.E_binop (Ast.B_mul, Ast.E_int 2, Ast.E_int 3)) -> ()
+      | _ -> Alcotest.fail "wrong precedence tree")
+  | _ -> Alcotest.fail "unexpected body"
+
+let parse_left_assoc () =
+  let p = Parser.parse "int main() { return 10 - 3 - 2; }" in
+  match (List.hd p.Ast.funcs).Ast.f_body with
+  | [ { Ast.node = Ast.S_return (Some
+        (Ast.E_binop (Ast.B_sub,
+                      Ast.E_binop (Ast.B_sub, Ast.E_int 10, Ast.E_int 3),
+                      Ast.E_int 2))); _ } ] -> ()
+  | _ -> Alcotest.fail "subtraction must associate left"
+
+let parse_statements () =
+  let src =
+    "int g; int buf[4];\n\
+     void f(int a, int b) { g = a; }\n\
+     int main() { int t = 5; buf[1] = t; if (t > 2) { f(t, 1); } else { t = \
+     0; } while (t > 0) { t = t - 1; } return g; }"
+  in
+  let p = Parser.parse src in
+  check_int "two functions" 2 (List.length p.Ast.funcs);
+  check_int "two globals" 2 (List.length p.Ast.globals);
+  check_int "statement count" 8 (Ast.stmt_count p)
+
+let parse_errors () =
+  let bad = [ "int main() { return 1 }"; "int main( { }"; "int 3x;"; "x = 1;" ] in
+  List.iter
+    (fun src ->
+      match Parser.parse src with
+      | _ -> Alcotest.failf "accepted %S" src
+      | exception Parser.Parse_error _ -> ())
+    bad
+
+let number_idempotent () =
+  let p = Gen.small_program () in
+  check_bool "idempotent" true (Ast.number p = p)
+
+(* ---- pretty printer round-trips ----------------------------------------- *)
+
+let roundtrip p =
+  let src = Pp.to_string p in
+  match Parser.parse src with
+  | p2 -> Ast.equal p p2
+  | exception e ->
+      Alcotest.failf "reparse failed: %s on@.%s" (Printexc.to_string e) src
+
+let pp_roundtrip_small () =
+  check_bool "small" true (roundtrip (Gen.small_program ()))
+
+let pp_roundtrip_image () =
+  check_bool "image" true (roundtrip (Gen.image_program ()))
+
+let pp_roundtrip_tricky () =
+  (* Constructs that exercise parenthesization. *)
+  let srcs =
+    [ "int main() { return (1 + 2) * 3; }";
+      "int main() { return 1 - (2 - 3); }";
+      "int main() { return -(1 + 2); }";
+      "int main() { return !(1 < 2) + 3; }";
+      "int main() { return (1 < 2) == (3 < 4); }";
+      "int main() { return 1 && (2 || 3); }";
+      "int main() { return 5 % 3 * 2 / 4; }";
+      "int main() { return - -5; }" ]
+  in
+  List.iter
+    (fun src ->
+      let p = Parser.parse src in
+      check_bool src true (roundtrip p))
+    srcs
+
+(* Random expressions over two variables survive print-then-parse. *)
+let expr_gen : Ast.expr QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  sized
+  @@ fix (fun self n ->
+         if n <= 1 then
+           oneof
+             [ map (fun k -> Ast.E_int k) (int_range (-50) 50);
+               oneofl [ Ast.E_var "a"; Ast.E_var "b" ];
+               map (fun i -> Ast.E_index ("buf", Ast.E_int (abs i mod 4))) small_int
+             ]
+         else
+           let sub = self (n / 2) in
+           frequency
+             [ (1, map (fun k -> Ast.E_int k) (int_range (-50) 50));
+               (1, oneofl [ Ast.E_var "a"; Ast.E_var "b" ]);
+               ( 4,
+                 map3
+                   (fun op l r -> Ast.E_binop (op, l, r))
+                   (oneofl
+                      [ Ast.B_add; Ast.B_sub; Ast.B_mul; Ast.B_div; Ast.B_mod;
+                        Ast.B_lt; Ast.B_le; Ast.B_gt; Ast.B_ge; Ast.B_eq;
+                        Ast.B_ne; Ast.B_and; Ast.B_or ])
+                   sub sub );
+               (1, map (fun e -> Ast.E_unop (Ast.U_not, e)) sub) ])
+
+let prop_expr_roundtrip =
+  QCheck2.Test.make ~name:"expression print/parse roundtrip" ~count:300
+    expr_gen (fun e ->
+      let p =
+        Ast.number
+          { Ast.globals =
+              [ { Ast.v_name = "a"; v_typ = Ast.T_int; v_init = 1 };
+                { Ast.v_name = "b"; v_typ = Ast.T_int; v_init = 2 };
+                { Ast.v_name = "buf"; v_typ = Ast.T_array 4; v_init = 0 } ];
+            funcs =
+              [ { Ast.f_name = "main"; f_params = []; f_locals = [];
+                  f_body = [ Ast.stmt (Ast.S_return (Some e)) ];
+                  f_ret = Ast.T_int } ] }
+      in
+      roundtrip p)
+
+(* ---- checker ------------------------------------------------------------ *)
+
+let check_valid () =
+  ignore (Check.check (Gen.small_program ()));
+  let env = Check.check (Gen.image_program ()) in
+  check_bool "width is a global" true (Check.global_id env "width" <> None);
+  check_bool "image is array" true (Check.is_global_array env "image");
+  check_bool "width not array" false (Check.is_global_array env "width");
+  check_bool "locals have no gid" true (Check.global_id env "nosuch" = None)
+
+let check_rejects () =
+  let bad =
+    [ ("int g; int g;", "duplicate global");
+      ("int main() { return x; }", "undefined variable");
+      ("int f() { return 1; } int main() { return f(1); }", "arity");
+      ("int g; int main() { return g[0]; }", "index non-array");
+      ("int g[3]; int main() { g = 1; return 0; }", "assign array");
+      ("int f() { return 1; }", "no main") ]
+  in
+  List.iter
+    (fun (src, what) ->
+      match Check.check (Parser.parse src) with
+      | _ -> Alcotest.failf "accepted: %s" what
+      | exception Check.Check_error _ -> ())
+    bad
+
+(* ---- interpreter -------------------------------------------------------- *)
+
+let interp_small () =
+  let o = Interp.run (Gen.small_program ()) in
+  check_bool "returns 17" true (o.Interp.return_value = Some 17)
+
+let interp_features () =
+  let run src =
+    (Interp.run (Parser.parse src)).Interp.return_value
+  in
+  check_bool "while loop" true
+    (run "int main() { int i; int s; i = 0; s = 0; while (i < 5) { s = s + i; i = i + 1; } return s; }"
+    = Some 10);
+  check_bool "recursion" true
+    (run "int fib(int n) { if (n < 2) { return n; } return fib(n-1) + fib(n-2); } int main() { return fib(10); }"
+    = Some 55);
+  check_bool "short circuit and" true
+    (run "int boom() { return 1 / 0; } int main() { if (0 && boom()) { return 1; } return 2; }"
+    = Some 2);
+  check_bool "array store/load" true
+    (run "int a[3]; int main() { a[0] = 7; a[2] = a[0] * 2; return a[2]; }"
+    = Some 14)
+
+let interp_errors () =
+  let expect_error src =
+    match Interp.run (Parser.parse src) with
+    | _ -> Alcotest.failf "no error for %s" src
+    | exception Interp.Runtime_error _ -> ()
+  in
+  expect_error "int main() { return 1 / 0; }";
+  expect_error "int a[2]; int main() { return a[5]; }";
+  expect_error "int a[2]; int main() { a[0-1] = 3; return 0; }";
+  match Interp.run ~max_steps:10 (Parser.parse "int main() { while (1) { } return 0; }") with
+  | _ -> Alcotest.fail "step budget not enforced"
+  | exception Interp.Runtime_error _ -> ()
+
+let interp_image () =
+  let o = Interp.run (Gen.image_program ~width:12 ~height:8 ~n_filters:3 ()) in
+  check_bool "terminates with checksum" true (o.Interp.return_value <> None)
+
+(* ---- generator ---------------------------------------------------------- *)
+
+let gen_shape () =
+  let p = Gen.image_program () in
+  ignore (Check.check p);
+  let lines = Pp.line_count p in
+  check_bool "roughly 750 lines" true (lines >= 650 && lines <= 850);
+  check_bool "static globals exist" true
+    (List.for_all
+       (fun g -> List.exists (fun d -> d.Ast.v_name = g) p.Ast.globals)
+       Gen.static_globals)
+
+let gen_deterministic () =
+  check_bool "generator is deterministic" true
+    (Gen.image_program () = Gen.image_program ())
+
+let suites =
+  [ ( "minic-lexer",
+      [ Alcotest.test_case "basics" `Quick lexer_basics;
+        Alcotest.test_case "comments" `Quick lexer_comments;
+        Alcotest.test_case "operators" `Quick lexer_operators;
+        Alcotest.test_case "errors" `Quick lexer_errors ] );
+    ( "minic-parser",
+      [ Alcotest.test_case "precedence" `Quick parse_precedence;
+        Alcotest.test_case "left assoc" `Quick parse_left_assoc;
+        Alcotest.test_case "statements" `Quick parse_statements;
+        Alcotest.test_case "errors" `Quick parse_errors;
+        Alcotest.test_case "number idempotent" `Quick number_idempotent ] );
+    ( "minic-pp",
+      [ Alcotest.test_case "roundtrip small" `Quick pp_roundtrip_small;
+        Alcotest.test_case "roundtrip image" `Quick pp_roundtrip_image;
+        Alcotest.test_case "roundtrip tricky" `Quick pp_roundtrip_tricky;
+        QCheck_alcotest.to_alcotest prop_expr_roundtrip ] );
+    ( "minic-check",
+      [ Alcotest.test_case "valid" `Quick check_valid;
+        Alcotest.test_case "rejects" `Quick check_rejects ] );
+    ( "minic-interp",
+      [ Alcotest.test_case "small program" `Quick interp_small;
+        Alcotest.test_case "features" `Quick interp_features;
+        Alcotest.test_case "errors" `Quick interp_errors;
+        Alcotest.test_case "image program" `Quick interp_image ] );
+    ( "minic-gen",
+      [ Alcotest.test_case "shape" `Quick gen_shape;
+        Alcotest.test_case "deterministic" `Quick gen_deterministic ] ) ]

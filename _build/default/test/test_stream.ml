@@ -1,0 +1,162 @@
+open Ickpt_stream
+
+let check_int = Alcotest.(check int)
+
+let varint_roundtrip () =
+  let cases =
+    [ 0; 1; -1; 2; -2; 63; 64; -64; -65; 127; 128; 300; -300; 0xdeadbeef;
+      -0xdeadbeef; max_int; min_int; max_int - 1; min_int + 1 ]
+  in
+  List.iter
+    (fun n ->
+      let buf = Buffer.create 16 in
+      Varint.write buf n;
+      let s = Buffer.contents buf in
+      check_int
+        (Printf.sprintf "encoded_size %d" n)
+        (String.length s) (Varint.encoded_size n);
+      let v, next = Varint.read s 0 in
+      check_int (Printf.sprintf "roundtrip %d" n) n v;
+      check_int "consumed all" (String.length s) next)
+    cases
+
+let varint_zigzag () =
+  check_int "zz 0" 0 (Varint.zigzag 0);
+  check_int "zz -1" 1 (Varint.zigzag (-1));
+  check_int "zz 1" 2 (Varint.zigzag 1);
+  check_int "zz -2" 3 (Varint.zigzag (-2));
+  List.iter
+    (fun n -> check_int "unzz inverse" n (Varint.unzigzag (Varint.zigzag n)))
+    [ 0; 5; -5; max_int; min_int ]
+
+let varint_truncated () =
+  let buf = Buffer.create 4 in
+  Varint.write buf max_int;
+  let s = Buffer.contents buf in
+  let truncated = String.sub s 0 (String.length s - 1) in
+  Alcotest.check_raises "truncated" (Invalid_argument "Varint.read: truncated input")
+    (fun () -> ignore (Varint.read truncated 0))
+
+let crc32_vector () =
+  (* Standard IEEE CRC-32 check value. *)
+  check_int "123456789" 0xcbf43926 (Crc32.string "123456789");
+  check_int "empty" 0 (Crc32.string "");
+  (* Incremental computation must agree with one-shot. *)
+  let s = "hello, checkpoint world" in
+  let half = String.length s / 2 in
+  let c1 = Crc32.sub s ~pos:0 ~len:half in
+  let c2 = Crc32.sub s ~pos:half ~len:(String.length s - half) ~crc:c1 in
+  check_int "incremental" (Crc32.string s) c2
+
+let stream_roundtrip () =
+  let d = Out_stream.create () in
+  Out_stream.write_int d 42;
+  Out_stream.write_byte d 0xab;
+  Out_stream.write_fixed32 d 0xdeadbeef;
+  Out_stream.write_string d "payload";
+  Out_stream.write_int d (-7);
+  let inp = In_stream.of_string (Out_stream.contents d) in
+  check_int "int" 42 (In_stream.read_int inp);
+  check_int "byte" 0xab (In_stream.read_byte inp);
+  check_int "fixed32" 0xdeadbeef (In_stream.read_fixed32 inp);
+  Alcotest.(check string) "string" "payload" (In_stream.read_string inp);
+  check_int "neg int" (-7) (In_stream.read_int inp);
+  Alcotest.(check bool) "at_end" true (In_stream.at_end inp)
+
+let sink_counts () =
+  let ops d =
+    Out_stream.write_int d 123456;
+    Out_stream.write_byte d 7;
+    Out_stream.write_string d "abcdef";
+    Out_stream.write_fixed32 d 99;
+    Out_stream.write_int d min_int
+  in
+  let buffered = Out_stream.create () in
+  let sink = Out_stream.sink () in
+  ops buffered;
+  ops sink;
+  check_int "sink size = buffered size" (Out_stream.size buffered)
+    (Out_stream.size sink);
+  Alcotest.(check bool) "is_sink" true (Out_stream.is_sink sink);
+  Alcotest.check_raises "sink contents"
+    (Invalid_argument "Out_stream.contents: sink stream") (fun () ->
+      ignore (Out_stream.contents sink))
+
+let reset_stream () =
+  let d = Out_stream.create () in
+  Out_stream.write_int d 5;
+  Out_stream.reset d;
+  check_int "size 0 after reset" 0 (Out_stream.size d);
+  Out_stream.write_int d 9;
+  let inp = In_stream.of_string (Out_stream.contents d) in
+  check_int "only post-reset data" 9 (In_stream.read_int inp)
+
+let in_stream_errors () =
+  let inp = In_stream.of_string "" in
+  Alcotest.(check bool) "empty at_end" true (In_stream.at_end inp);
+  (match In_stream.read_byte inp with
+  | _ -> Alcotest.fail "expected Corrupt"
+  | exception In_stream.Corrupt _ -> ());
+  let d = Out_stream.create () in
+  Out_stream.write_byte d 3;
+  let inp = In_stream.of_string (Out_stream.contents d) in
+  match In_stream.expect_byte inp 4 "tag" with
+  | () -> Alcotest.fail "expected Corrupt on tag mismatch"
+  | exception In_stream.Corrupt msg ->
+      Alcotest.(check bool) "message names tag" true
+        (String.length msg > 0)
+
+let of_string_at () =
+  let d = Out_stream.create () in
+  Out_stream.write_fixed32 d 1;
+  Out_stream.write_fixed32 d 2;
+  let s = Out_stream.contents d in
+  let inp = In_stream.of_string_at s ~pos:4 in
+  check_int "reads second word" 2 (In_stream.read_fixed32 inp);
+  Alcotest.check_raises "bad pos" (Invalid_argument "In_stream.of_string_at")
+    (fun () -> ignore (In_stream.of_string_at s ~pos:100))
+
+(* Property: any int sequence survives a write/read roundtrip, and the sink
+   stream always reports the same size as the buffered stream. *)
+let prop_int_roundtrip =
+  QCheck2.Test.make ~name:"varint roundtrip (random)" ~count:500
+    QCheck2.Gen.(list (frequency [ (5, int); (1, oneofl [ max_int; min_int; 0 ]) ]))
+    (fun ints ->
+      let d = Out_stream.create () in
+      let sink = Out_stream.sink () in
+      List.iter
+        (fun n ->
+          Out_stream.write_int d n;
+          Out_stream.write_int sink n)
+        ints;
+      let inp = In_stream.of_string (Out_stream.contents d) in
+      let back = List.map (fun _ -> In_stream.read_int inp) ints in
+      back = ints
+      && In_stream.at_end inp
+      && Out_stream.size d = Out_stream.size sink)
+
+let prop_crc_detects_flip =
+  QCheck2.Test.make ~name:"crc32 detects single bit flip" ~count:200
+    QCheck2.Gen.(
+      pair (string_size ~gen:char (int_range 1 64)) (int_range 0 1000))
+    (fun (s, r) ->
+      let pos = r mod String.length s in
+      let bit = r mod 8 in
+      let b = Bytes.of_string s in
+      Bytes.set b pos
+        (Char.chr (Char.code (Bytes.get b pos) lxor (1 lsl bit)));
+      Crc32.string s <> Crc32.bytes b)
+
+let suites =
+  [ ( "stream",
+      [ Alcotest.test_case "varint roundtrip" `Quick varint_roundtrip;
+        Alcotest.test_case "varint zigzag" `Quick varint_zigzag;
+        Alcotest.test_case "varint truncated" `Quick varint_truncated;
+        Alcotest.test_case "crc32 vector" `Quick crc32_vector;
+        Alcotest.test_case "stream roundtrip" `Quick stream_roundtrip;
+        Alcotest.test_case "sink counts" `Quick sink_counts;
+        Alcotest.test_case "reset" `Quick reset_stream;
+        Alcotest.test_case "in_stream errors" `Quick in_stream_errors;
+        Alcotest.test_case "of_string_at" `Quick of_string_at;
+        QCheck_alcotest.to_alcotest prop_int_roundtrip;
+        QCheck_alcotest.to_alcotest prop_crc_detects_flip ] ) ]

@@ -1,0 +1,198 @@
+open Ickpt_runtime
+open Ickpt_synth
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let small c =
+  { c with Synth.n_structures = 40; seed = 42 }
+
+let config ?(list_len = 5) ?(n_int_fields = 3) ?(pct = 100) ?(mod_lists = 5)
+    ?(last_only = false) () =
+  small
+    { Synth.default_config with
+      Synth.list_len;
+      n_int_fields;
+      pct_modified = pct;
+      modified_lists = mod_lists;
+      last_only }
+
+let build_counts () =
+  let t = Synth.build (config ()) in
+  check_int "objects allocated"
+    (Synth.paper_total_objects t.Synth.config)
+    (Heap.count t.Synth.heap);
+  check_int "elements" (40 * 5 * 5) (Synth.element_count t);
+  check_int "roots" 40 (List.length (Synth.roots t));
+  (* Every list has the declared length. *)
+  let root = List.hd (Synth.roots t) in
+  let rec len = function
+    | None -> 0
+    | Some (e : Model.obj) -> 1 + len e.Model.children.(0)
+  in
+  Array.iter (fun c -> check_int "list length" 5 (len c)) root.Model.children
+
+let build_validation () =
+  let bad = { Synth.default_config with Synth.pct_modified = 150 } in
+  match Synth.build bad with
+  | _ -> Alcotest.fail "invalid config accepted"
+  | exception Invalid_argument _ -> ()
+
+let mutate_respects_constraints () =
+  (* last_only with 2 modifiable lists at 100%: exactly 2 dirty elements
+     per structure, each the last of its list. *)
+  let t = Synth.build (config ~mod_lists:2 ~last_only:true ()) in
+  Synth.base_checkpoint t;
+  let dirtied = Synth.mutate_round t in
+  check_int "2 per structure" (40 * 2) dirtied;
+  check_int "heap agrees" (40 * 2) (Heap.modified_count t.Synth.heap);
+  List.iter
+    (fun root ->
+      Array.iteri
+        (fun l head ->
+          let rec walk pos = function
+            | None -> ()
+            | Some (e : Model.obj) ->
+                let is_last = pos = 4 in
+                let may_dirty = l < 2 && is_last in
+                if not may_dirty then
+                  check_bool "clean position stays clean" false
+                    e.Model.info.Model.modified;
+                walk (pos + 1) e.Model.children.(0)
+          in
+          walk 0 head)
+        root.Model.children)
+    (Synth.roots t)
+
+let mutate_pct_zero_and_partial () =
+  let t = Synth.build (config ~pct:0 ()) in
+  Synth.base_checkpoint t;
+  check_int "0%% dirties nothing" 0 (Synth.mutate_round t);
+  let t = Synth.build (config ~pct:50 ()) in
+  Synth.base_checkpoint t;
+  let d = Synth.mutate_round t in
+  let candidates = 40 * 5 * 5 in
+  check_bool "about half dirty" true
+    (d > candidates * 35 / 100 && d < candidates * 65 / 100)
+
+let mutate_deterministic () =
+  let run () =
+    let t = Synth.build (config ~pct:25 ()) in
+    Synth.base_checkpoint t;
+    (Synth.mutate_round t, Synth.mutate_round t)
+  in
+  check_bool "seeded determinism" true (run () = run ())
+
+let shapes_validate () =
+  let t = Synth.build (config ~mod_lists:3 ~last_only:true ()) in
+  let s_struct = Synth.shape_structure t in
+  let s_lists = Synth.shape_modified_lists t in
+  let s_last = Synth.shape_last_only t in
+  List.iter Jspec.Sclass.validate [ s_struct; s_lists; s_last ];
+  (* structure: everything tracked: 1 compound + 25 elements *)
+  check_int "structure tracked" 26 (Jspec.Sclass.tracked_count s_struct);
+  (* modified lists: 3 lists of 5 *)
+  check_int "modified-lists tracked" 15 (Jspec.Sclass.tracked_count s_lists);
+  (* last-only: 3 last elements *)
+  check_int "last-only tracked" 3 (Jspec.Sclass.tracked_count s_last)
+
+(* The synthetic equivalence property: for each level of declaration, the
+   specialized runner produces the same bytes as the generic incremental
+   checkpointer over the whole population, after a conforming mutation
+   round. Two identically-seeded builds give identical object ids. *)
+let specialized_equals_generic_bytes cfg shape_of =
+  let run runner_of =
+    let t = Synth.build cfg in
+    Synth.base_checkpoint t;
+    ignore (Synth.mutate_round t);
+    let d = Ickpt_stream.Out_stream.create () in
+    runner_of t d;
+    Ickpt_stream.Out_stream.contents d
+  in
+  let generic =
+    run (fun t d ->
+        List.iter (Ickpt_core.Checkpointer.incremental d) (Synth.roots t))
+  in
+  let specialized =
+    run (fun t d ->
+        let runner = Jspec.Compile.residual (Jspec.Pe.specialize (shape_of t)) in
+        List.iter (fun r -> runner d r) (Synth.roots t))
+  in
+  generic = specialized
+
+let spec_structure_bytes () =
+  check_bool "structure shape" true
+    (specialized_equals_generic_bytes (config ~pct:50 ()) Synth.shape_structure)
+
+let spec_modified_lists_bytes () =
+  check_bool "modified-lists shape" true
+    (specialized_equals_generic_bytes
+       (config ~pct:50 ~mod_lists:2 ())
+       Synth.shape_modified_lists)
+
+let spec_last_only_bytes () =
+  check_bool "last-only shape" true
+    (specialized_equals_generic_bytes
+       (config ~pct:50 ~mod_lists:3 ~last_only:true ())
+       Synth.shape_last_only)
+
+let guard_accepts_conforming_config () =
+  let t = Synth.build (config ~mod_lists:2 ~last_only:true ()) in
+  Synth.base_checkpoint t;
+  ignore (Synth.mutate_round t);
+  let shape = Synth.shape_last_only t in
+  List.iter
+    (fun root ->
+      match Jspec.Guard.check shape root with
+      | [] -> ()
+      | v :: _ -> Alcotest.failf "violation: %a" Jspec.Guard.pp_violation v)
+    (Synth.roots t)
+
+let guard_catches_nonconforming_mutation () =
+  let t = Synth.build (config ~mod_lists:2 ~last_only:true ()) in
+  Synth.base_checkpoint t;
+  (* Dirty a first element — violates the last-only declaration. *)
+  let root = List.hd (Synth.roots t) in
+  (match root.Model.children.(0) with
+  | Some e -> Barrier.touch e
+  | None -> Alcotest.fail "missing element");
+  let shape = Synth.shape_last_only t in
+  check_bool "violation detected" true (Jspec.Guard.check shape root <> [])
+
+let full_chain_recovery () =
+  let t = Synth.build (config ~pct:25 ()) in
+  let chain = Ickpt_core.Chain.create t.Synth.schema in
+  ignore (Ickpt_core.Chain.take_full chain (Synth.roots t));
+  for _ = 1 to 3 do
+    ignore (Synth.mutate_round t);
+    ignore (Ickpt_core.Chain.take_incremental chain (Synth.roots t))
+  done;
+  match Ickpt_core.Chain.recover chain with
+  | Error e -> Alcotest.fail e
+  | Ok (_, roots') ->
+      check_int "all roots back" 40 (List.length roots');
+      List.iter2
+        (fun a b ->
+          match Deep_eq.compare_graphs a b with
+          | None -> ()
+          | Some m -> Alcotest.failf "mismatch: %a" Deep_eq.pp_mismatch m)
+        (Synth.roots t) roots'
+
+let suites =
+  [ ( "synth",
+      [ Alcotest.test_case "build counts" `Quick build_counts;
+        Alcotest.test_case "config validation" `Quick build_validation;
+        Alcotest.test_case "mutate respects constraints" `Quick
+          mutate_respects_constraints;
+        Alcotest.test_case "pct 0 and 50" `Quick mutate_pct_zero_and_partial;
+        Alcotest.test_case "deterministic" `Quick mutate_deterministic;
+        Alcotest.test_case "shapes validate" `Quick shapes_validate;
+        Alcotest.test_case "spec structure bytes" `Quick spec_structure_bytes;
+        Alcotest.test_case "spec modified-lists bytes" `Quick
+          spec_modified_lists_bytes;
+        Alcotest.test_case "spec last-only bytes" `Quick spec_last_only_bytes;
+        Alcotest.test_case "guard accepts conforming" `Quick
+          guard_accepts_conforming_config;
+        Alcotest.test_case "guard catches violation" `Quick
+          guard_catches_nonconforming_mutation;
+        Alcotest.test_case "chain recovery" `Quick full_chain_recovery ] ) ]
