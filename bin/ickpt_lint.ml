@@ -1,0 +1,133 @@
+(* Static verification of specialization classes and residual code.
+
+   Three cooperating checks, all before any heap exists:
+
+   1. effect inference — interprocedural read/write effects (with array
+      segments) of the workload program's functions;
+   2. spec-lint — the three phase declarations in Attrs, compared against
+      the shapes inferred from the phase models (unsound declarations are
+      errors, imprecise ones warnings);
+   3. residual lint — dead stores, unreachable branches and redundant
+      modified-flag tests left in the specialized checkpoint code.
+
+   Exits non-zero iff any error-severity finding remains, so a seeded
+   unsound declaration (--seed-unsound) fails the build while the shipped
+   declarations pass. *)
+
+open Cmdliner
+open Ickpt_analysis
+
+let file_arg =
+  let doc = "Mini-C source file to analyze (default: generated workload)." in
+  Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+
+let workload_arg =
+  let doc = "Built-in workload when no FILE is given: image or small." in
+  Arg.(
+    value
+    & opt (enum [ ("image", `Image); ("small", `Small) ]) `Image
+    & info [ "workload" ] ~doc)
+
+let seed_unsound_arg =
+  let doc =
+    "Additionally lint a deliberately wrong declaration (the bta shape \
+     declared for the sea phase) — must be reported unsound and fail."
+  in
+  Arg.(value & flag & info [ "seed-unsound" ] ~doc)
+
+let no_effects_arg =
+  let doc = "Skip the per-function effect table." in
+  Arg.(value & flag & info [ "no-effects" ] ~doc)
+
+let load_program file workload =
+  match file with
+  | None -> (
+      match workload with
+      | `Image -> Minic.Gen.image_program ()
+      | `Small -> Minic.Gen.small_program ())
+  | Some path -> (
+      let ic = open_in_bin path in
+      let src =
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      try Minic.Parser.parse src with
+      | Minic.Parser.Parse_error { line; message } ->
+          Printf.eprintf "%s:%d: %s\n" path line message;
+          exit 2
+      | Minic.Lexer.Lex_error { line; col; message } ->
+          Printf.eprintf "%s:%d:%d: %s\n" path line col message;
+          exit 2)
+
+let phase_shapes attrs =
+  [ (Staticcheck.Phase_model.Sea, Attrs.sea_shape attrs);
+    (Staticcheck.Phase_model.Bta, Attrs.bta_shape attrs);
+    (Staticcheck.Phase_model.Eta, Attrs.eta_shape attrs) ]
+
+let run file workload seed_unsound no_effects =
+  let program = load_program file workload in
+  let env =
+    match Minic.Check.check program with
+    | env -> env
+    | exception Minic.Check.Check_error msg ->
+        Printf.eprintf "check error: %s\n" msg;
+        exit 2
+  in
+  Format.printf "ickpt_lint: %d function(s), %d statement(s), %d global(s)@."
+    (List.length program.Minic.Ast.funcs)
+    (Minic.Ast.stmt_count program)
+    (Minic.Check.global_count env);
+  (* 1. Effect inference over the workload. *)
+  if not no_effects then begin
+    let summaries = Staticcheck.Effects.compute env in
+    Format.printf "@[<v 2>effects (interprocedural, per call):@,%a@]@."
+      (Format.pp_print_list ~pp_sep:Format.pp_print_cut (fun ppf (fname, eff) ->
+           Format.fprintf ppf "@[<h>%-18s %a@]" fname
+             (Staticcheck.Effects.pp env) eff))
+      (Staticcheck.Effects.all summaries)
+  end;
+  (* 2. Spec-lint the shipped phase declarations. *)
+  let attrs = Attrs.create ~n_stmts:(max 1 (Minic.Ast.stmt_count program)) in
+  let klasses = Attrs.klasses attrs in
+  let spec_findings =
+    List.concat_map
+      (fun (phase, declared) ->
+        List.map Staticcheck.Finding.of_spec
+          (Staticcheck.Spec_lint.check_phase ~klasses phase ~declared))
+      (phase_shapes attrs)
+  in
+  (* 3. Residual lint of the specialized code for each phase shape. *)
+  let residual_findings =
+    List.concat_map
+      (fun (phase, shape) ->
+        List.map
+          (Staticcheck.Finding.of_residual
+             ~phase:(Staticcheck.Phase_model.name phase))
+          (Staticcheck.Residual_lint.lint_result (Jspec.Pe.specialize shape)))
+      (phase_shapes attrs)
+  in
+  (* 4. Optionally demonstrate the unsound taxonomy on a wrong declaration:
+     the bta shape declares the SEEntry subtree Clean, which the sea phase
+     writes. *)
+  let seeded_findings =
+    if not seed_unsound then []
+    else
+      List.map Staticcheck.Finding.of_spec
+        (Staticcheck.Spec_lint.check_phase ~klasses Staticcheck.Phase_model.Sea
+           ~declared:(Attrs.bta_shape attrs))
+  in
+  let all =
+    Staticcheck.Finding.sort (spec_findings @ residual_findings @ seeded_findings)
+  in
+  Format.printf "%a@." Staticcheck.Finding.pp_report all;
+  if Staticcheck.Finding.has_errors all then exit 1
+
+let () =
+  let doc = "static lint of specialization classes and residual code" in
+  let info = Cmd.info "ickpt_lint" ~version:"1.0.0" ~doc in
+  let term =
+    Term.(
+      const run $ file_arg $ workload_arg $ seed_unsound_arg $ no_effects_arg)
+  in
+  exit (Cmd.eval (Cmd.v info term))

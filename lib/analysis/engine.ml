@@ -34,6 +34,23 @@ type report = {
   env : Minic.Check.env;
 }
 
+exception Preflight_failed of Staticcheck.Spec_lint.diagnostic list
+
+(* The pre-flight check: every phase's declared specialization class must
+   agree with the statically inferred one. Program-independent (the
+   shapes are fixed by the Attrs schema), but cheap enough to run per
+   engine invocation. *)
+let preflight_diagnostics attrs =
+  let klasses = Attrs.klasses attrs in
+  List.concat_map
+    (fun (phase, declared) ->
+      Staticcheck.Spec_lint.check_phase ~klasses phase ~declared)
+    [ (Staticcheck.Phase_model.Sea, Attrs.sea_shape attrs);
+      (Staticcheck.Phase_model.Bta, Attrs.bta_shape attrs);
+      (Staticcheck.Phase_model.Eta, Attrs.eta_shape attrs) ]
+
+let preflight = preflight_diagnostics
+
 let phase_bytes p = List.fold_left (fun acc s -> acc + s.bytes) 0 p.stats
 
 let phase_ckp_seconds p =
@@ -141,7 +158,8 @@ let run_phase ~cache ~name ~mode ~measure_traversal ~guard ~chain ~attrs ~shape
     analysis_seconds = Float.max 0.0 (total_seconds -. !ckp_total) }
 
 let analyze ?(mode = Incremental) ?division ?(sea_min = 1) ?(bta_min = 1)
-    ?(eta_min = 1) ?(measure_traversal = false) ?(guard = false) program =
+    ?(eta_min = 1) ?(measure_traversal = false) ?(guard = false)
+    ?(preflight = false) program =
   let env = Minic.Check.check program in
   let division =
     match division with
@@ -152,6 +170,10 @@ let analyze ?(mode = Incremental) ?division ?(sea_min = 1) ?(bta_min = 1)
           Minic.Gen.static_globals
   in
   let attrs = Attrs.create ~n_stmts:(Minic.Ast.stmt_count program) in
+  if preflight then begin
+    let ds = preflight_diagnostics attrs in
+    if Staticcheck.Spec_lint.has_unsound ds then raise (Preflight_failed ds)
+  end;
   let chain = Chain.create (Attrs.schema attrs) in
   (* Base checkpoint: everything is fresh, so record it all once. *)
   let base = Chain.take_full chain (Attrs.roots attrs) in

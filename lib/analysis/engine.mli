@@ -44,12 +44,20 @@ type report = {
   env : Minic.Check.env;
 }
 
+exception Preflight_failed of Staticcheck.Spec_lint.diagnostic list
+
+val preflight : Attrs.t -> Staticcheck.Spec_lint.diagnostic list
+(** Spec-lint every phase's declared specialization class against the
+    statically inferred one (see {!Staticcheck.Infer}). Empty when the
+    declarations are exactly as tight as the inference. *)
+
 val analyze :
   ?mode:mode ->
   ?division:string list ->
   ?sea_min:int -> ?bta_min:int -> ?eta_min:int ->
   ?measure_traversal:bool ->
   ?guard:bool ->
+  ?preflight:bool ->
   Minic.Ast.program ->
   report
 (** Defaults: [mode = Incremental]; [division] = the program's globals
@@ -57,7 +65,10 @@ val analyze :
     paper's configuration is [bta_min = 9], [eta_min = 3]);
     [measure_traversal = false]; [guard = false] (when true, every
     specialized checkpoint validates the declarations first and raises
-    {!Jspec.Guard.Violated} on a breach).
+    {!Jspec.Guard.Violated} on a breach); [preflight = false] (when true,
+    the declared specialization classes are spec-linted against the
+    static inference before any phase runs, raising {!Preflight_failed}
+    if an unsound declaration is found).
 
     The chain in the result can be recovered to verify the checkpointed
     analysis state (see the crash-recovery example). *)

@@ -57,7 +57,29 @@ let check shape root =
     end
   in
   go [] shape root;
-  List.rev !out
+  (* Sorted, not discovery-ordered: reports stay stable under traversal
+     changes and two heaps with the same defects report identically. *)
+  List.sort
+    (fun a b -> compare (a.path, a.reason) (b.path, b.reason))
+    !out
+
+let group_by_reason vs =
+  let reasons = List.sort_uniq compare (List.map (fun v -> v.reason) vs) in
+  List.map
+    (fun reason -> (reason, List.filter (fun v -> v.reason = reason) vs))
+    reasons
+
+let pp_report ppf = function
+  | [] -> Format.pp_print_string ppf "guard: no violations"
+  | vs ->
+      Format.fprintf ppf "@[<v>guard: %d violation(s)" (List.length vs);
+      List.iter
+        (fun (reason, group) ->
+          Format.fprintf ppf "@,@[<v 2>%s (%d):" reason (List.length group);
+          List.iter (fun v -> Format.fprintf ppf "@,%s" v.path) group;
+          Format.fprintf ppf "@]")
+        (group_by_reason vs);
+      Format.fprintf ppf "@]"
 
 let checked shape runner d o =
   match check shape o with

@@ -17,7 +17,17 @@ val check : Sclass.shape -> Model.obj -> violation list
 (** Every way in which the object graph fails to conform to the shape:
     class mismatches, null children declared present, non-null children
     declared null, and set [modified] flags on [Clean] nodes. Empty when
-    the specialized code is safe to run on this object. *)
+    the specialized code is safe to run on this object. Violations are
+    sorted by (path, reason) — stable and deterministic, independent of
+    traversal order. *)
+
+val group_by_reason : violation list -> (string * violation list) list
+(** Reasons in alphabetical order, each with its violations in path
+    order. *)
+
+val pp_report : Format.formatter -> violation list -> unit
+(** Violations grouped by reason — the same presentation as the static
+    spec-lint, so guard and lint output read the same way. *)
 
 exception Violated of violation
 

@@ -1,0 +1,174 @@
+open Minic.Ast
+
+module Int_set = Set.Make (Int)
+module Gid_map = Map.Make (Int)
+
+type seg = Cells of Int_set.t | Whole
+
+(* Beyond this many distinct constant cells a segment is as good as the
+   whole array: widen so the fixpoint lattice stays finite-height. *)
+let max_cells = 64
+
+let seg_join a b =
+  match (a, b) with
+  | Whole, _ | _, Whole -> Whole
+  | Cells x, Cells y ->
+      let u = Int_set.union x y in
+      if Int_set.cardinal u > max_cells then Whole else Cells u
+
+let seg_equal a b =
+  match (a, b) with
+  | Whole, Whole -> true
+  | Cells x, Cells y -> Int_set.equal x y
+  | Whole, Cells _ | Cells _, Whole -> false
+
+type t = { reads : seg Gid_map.t; writes : seg Gid_map.t }
+
+let empty = { reads = Gid_map.empty; writes = Gid_map.empty }
+
+let join_map = Gid_map.union (fun _ a b -> Some (seg_join a b))
+
+let join a b =
+  { reads = join_map a.reads b.reads; writes = join_map a.writes b.writes }
+
+let equal a b =
+  Gid_map.equal seg_equal a.reads b.reads
+  && Gid_map.equal seg_equal a.writes b.writes
+
+let add_read t gid seg = { t with reads = join_map t.reads (Gid_map.singleton gid seg) }
+let add_write t gid seg = { t with writes = join_map t.writes (Gid_map.singleton gid seg) }
+
+(* The segment an index expression can denote: only literal indices stay
+   precise, anything computed may reach the whole array. *)
+let seg_of_index = function E_int k -> Cells (Int_set.singleton k) | _ -> Whole
+
+type summaries = {
+  env : Minic.Check.env;
+  table : (string, t) Hashtbl.t;
+}
+
+let of_func s fname =
+  match Hashtbl.find_opt s.table fname with Some e -> e | None -> empty
+
+let compute (env : Minic.Check.env) =
+  let p = env.Minic.Check.program in
+  let gid x = Minic.Check.global_id env x in
+  let table = Hashtbl.create 16 in
+  let summary_of f =
+    match Hashtbl.find_opt table f with Some e -> e | None -> empty
+  in
+  let rec expr_eff e =
+    match e with
+    | E_int _ -> empty
+    | E_var x -> (
+        match gid x with Some id -> add_read empty id Whole | None -> empty)
+    | E_index (a, i) -> (
+        let eff = expr_eff i in
+        match gid a with
+        | Some id -> add_read eff id (seg_of_index i)
+        | None -> eff)
+    | E_unop (_, e) -> expr_eff e
+    | E_binop (_, l, r) -> join (expr_eff l) (expr_eff r)
+    | E_call (g, args) ->
+        List.fold_left (fun acc a -> join acc (expr_eff a)) (summary_of g) args
+  in
+  let rec stmt_eff s =
+    match s.node with
+    | S_assign (x, e) -> (
+        let eff = expr_eff e in
+        match gid x with Some id -> add_write eff id Whole | None -> eff)
+    | S_store (a, i, e) -> (
+        let eff = join (expr_eff i) (expr_eff e) in
+        match gid a with
+        | Some id -> add_write eff id (seg_of_index i)
+        | None -> eff)
+    | S_expr e -> expr_eff e
+    | S_return None -> empty
+    | S_return (Some e) -> expr_eff e
+    | S_if (c, t, f) ->
+        List.fold_left (fun acc s -> join acc (stmt_eff s)) (expr_eff c) (t @ f)
+    | S_while (c, b) ->
+        List.fold_left (fun acc s -> join acc (stmt_eff s)) (expr_eff c) b
+  in
+  let round () =
+    List.fold_left
+      (fun changed f ->
+        let eff =
+          List.fold_left (fun acc s -> join acc (stmt_eff s)) empty f.f_body
+        in
+        if equal eff (summary_of f.f_name) then changed
+        else begin
+          Hashtbl.replace table f.f_name eff;
+          true
+        end)
+      false p.funcs
+  in
+  let rec fix () = if round () then fix () in
+  fix ();
+  { env; table }
+
+let all s =
+  List.map
+    (fun f -> (f.f_name, of_func s f.f_name))
+    s.env.Minic.Check.program.funcs
+
+let reads_name env t name =
+  match Minic.Check.global_id env name with
+  | Some gid -> Gid_map.mem gid t.reads
+  | None -> false
+
+let writes_name env t name =
+  match Minic.Check.global_id env name with
+  | Some gid -> Gid_map.mem gid t.writes
+  | None -> false
+
+let write_seg env t name =
+  match Minic.Check.global_id env name with
+  | None -> None
+  | Some gid -> Gid_map.find_opt gid t.writes
+
+let global_name (env : Minic.Check.env) gid =
+  match List.find_opt (fun (_, i) -> i = gid) env.Minic.Check.global_ids with
+  | Some (name, _) -> name
+  | None -> Printf.sprintf "g%d" gid
+
+(* Render contiguous cell runs as lo..hi, e.g. kernel[0..8]. *)
+let pp_cells ppf cells =
+  let rec runs acc = function
+    | [] -> List.rev acc
+    | x :: rest ->
+        let rec extend hi = function
+          | y :: tail when y = hi + 1 -> extend y tail
+          | tail -> (hi, tail)
+        in
+        let hi, tail = extend x rest in
+        runs ((x, hi) :: acc) tail
+  in
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+    (fun ppf (lo, hi) ->
+      if lo = hi then Format.pp_print_int ppf lo
+      else Format.fprintf ppf "%d..%d" lo hi)
+    ppf
+    (runs [] (Int_set.elements cells))
+
+let pp_access env ppf (gid, seg) =
+  let name = global_name env gid in
+  let is_array = Minic.Check.is_global_array env name in
+  match (seg, is_array) with
+  | _, false -> Format.pp_print_string ppf name
+  | Whole, true -> Format.fprintf ppf "%s[*]" name
+  | Cells cells, true -> Format.fprintf ppf "%s[%a]" name pp_cells cells
+
+let pp_side env what ppf map =
+  if Gid_map.is_empty map then Format.fprintf ppf "%s {}" what
+  else
+    Format.fprintf ppf "%s {%a}" what
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+         (pp_access env))
+      (Gid_map.bindings map)
+
+let pp env ppf t =
+  Format.fprintf ppf "@[<h>%a %a@]" (pp_side env "reads") t.reads
+    (pp_side env "writes") t.writes

@@ -1,0 +1,48 @@
+(** Interprocedural read/write effect analysis over mini-C programs.
+
+    For every function, a fixpoint over the call graph computes which
+    globals a call may read or write, at array-segment granularity:
+    stores through literal indices stay precise ([Cells]), computed
+    indices widen to the whole array ([Whole]). Globals are identified by
+    {!Minic.Check.env}'s global numbering.
+
+    This is the may-effect skeleton the spec-lint builds on: a global a
+    phase's entry point provably never writes is safe to declare [Clean]
+    in its specialization class; one it may write is not. *)
+
+module Int_set : Set.S with type elt = int
+module Gid_map : Map.S with type key = int
+
+type seg = Cells of Int_set.t | Whole
+
+val seg_join : seg -> seg -> seg
+val seg_equal : seg -> seg -> bool
+
+type t = { reads : seg Gid_map.t; writes : seg Gid_map.t }
+
+val empty : t
+val join : t -> t -> t
+val equal : t -> t -> bool
+
+type summaries
+(** Converged per-function transitive effects for one checked program. *)
+
+val compute : Minic.Check.env -> summaries
+
+val of_func : summaries -> string -> t
+(** The transitive effect of one call to the function ([empty] for an
+    unknown name). *)
+
+val all : summaries -> (string * t) list
+(** Every function with its summary, in program order. *)
+
+val reads_name : Minic.Check.env -> t -> string -> bool
+val writes_name : Minic.Check.env -> t -> string -> bool
+
+val write_seg : Minic.Check.env -> t -> string -> seg option
+(** The written segment of a global, by name; [None] if not written. *)
+
+val global_name : Minic.Check.env -> int -> string
+
+val pp : Minic.Check.env -> Format.formatter -> t -> unit
+(** e.g. [reads {image[*], npixels} writes {kernel[0..8], temp[*]}]. *)

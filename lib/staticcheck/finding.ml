@@ -1,0 +1,60 @@
+type severity = Error | Warning
+
+type t = { severity : severity; scope : string; path : string; reason : string }
+
+let severity_name = function Error -> "error" | Warning -> "warning"
+
+let of_spec (d : Spec_lint.diagnostic) =
+  { severity = (match d.verdict with Spec_lint.Unsound -> Error | Spec_lint.Imprecise -> Warning);
+    scope = "spec:" ^ d.phase;
+    path = d.path;
+    reason = d.reason }
+
+let of_residual ~phase (f : Residual_lint.finding) =
+  { severity = Warning;
+    scope = "residual:" ^ phase;
+    path = f.path;
+    reason = f.reason }
+
+let order a b =
+  compare
+    (a.scope, a.path, a.reason, a.severity)
+    (b.scope, b.path, b.reason, b.severity)
+
+let sort fs = List.sort_uniq order fs
+
+let has_errors = List.exists (fun f -> f.severity = Error)
+
+let count sev fs = List.length (List.filter (fun f -> f.severity = sev) fs)
+
+let group_by_reason fs =
+  let reasons =
+    List.sort_uniq compare (List.map (fun f -> f.reason) fs)
+  in
+  List.map
+    (fun reason -> (reason, sort (List.filter (fun f -> f.reason = reason) fs)))
+    reasons
+
+let pp ppf f =
+  Format.fprintf ppf "[%s] %s %s: %s" (severity_name f.severity) f.scope
+    f.path f.reason
+
+(* Grouped by reason, like Guard.pp_report, so static findings and
+   runtime guard reports read the same way. *)
+let pp_report ppf fs =
+  match sort fs with
+  | [] -> Format.pp_print_string ppf "lint: no findings"
+  | fs ->
+      Format.fprintf ppf "@[<v>lint: %d error(s), %d warning(s)" (count Error fs)
+        (count Warning fs);
+      List.iter
+        (fun (reason, group) ->
+          Format.fprintf ppf "@,@[<v 2>%s (%d):" reason (List.length group);
+          List.iter
+            (fun f ->
+              Format.fprintf ppf "@,[%s] %s %s" (severity_name f.severity)
+                f.scope f.path)
+            group;
+          Format.fprintf ppf "@]")
+        (group_by_reason fs);
+      Format.fprintf ppf "@]"

@@ -1,0 +1,26 @@
+(** Unified lint findings: one reportable type for spec-lint diagnostics
+    and residual-code findings, with deterministic ordering and a report
+    grouped by reason (the same presentation as [Jspec.Guard.pp_report],
+    so static and runtime output read alike). Unsound declarations are
+    [Error]s — they fail the build; everything else is a [Warning]. *)
+
+type severity = Error | Warning
+
+type t = { severity : severity; scope : string; path : string; reason : string }
+
+val severity_name : severity -> string
+
+val of_spec : Spec_lint.diagnostic -> t
+val of_residual : phase:string -> Residual_lint.finding -> t
+
+val sort : t list -> t list
+(** Sorted by (scope, path, reason), duplicates removed. *)
+
+val has_errors : t list -> bool
+val count : severity -> t list -> int
+
+val group_by_reason : t list -> (string * t list) list
+(** Reasons in alphabetical order, each with its sorted findings. *)
+
+val pp : Format.formatter -> t -> unit
+val pp_report : Format.formatter -> t list -> unit

@@ -1,0 +1,30 @@
+(** Derivation of specialization classes from static effect analysis.
+
+    Running {!Effects} over a {!Phase_model} yields, per phase, which
+    attribute-tree leaves the phase can possibly modify; {!shape} turns
+    that into the [Sclass.shape] the phase *should* declare. For the
+    paper's three phases this reproduces the hand-written shapes in
+    [Ickpt_analysis.Attrs] — but derived, not trusted. *)
+
+type derivation = {
+  phase : Phase_model.phase;
+  effects : Effects.t;  (** transitive effect of one phase run *)
+  writes_lists : bool;  (** the [SEEntry] list slots may change *)
+  writes_bt : bool;
+  writes_et : bool;
+}
+
+val derive : Phase_model.phase -> derivation
+
+val shape :
+  klasses:Ickpt_runtime.Model.klass list -> derivation -> Jspec.Sclass.shape
+(** Build the derived specialization class over the seven Attrs klasses
+    (in [Attrs.klasses] order: Attributes, SEEntry, VarRef, BTEntry, BT,
+    ETEntry, ET).
+    @raise Invalid_argument on any other klass list. *)
+
+val derived_shape :
+  klasses:Ickpt_runtime.Model.klass list ->
+  Phase_model.phase -> Jspec.Sclass.shape
+
+val pp_derivation : Format.formatter -> derivation -> unit

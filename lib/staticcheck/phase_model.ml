@@ -1,0 +1,284 @@
+type phase = Sea | Bta | Eta
+
+let all = [ Sea; Bta; Eta ]
+
+let name = function Sea -> "sea" | Bta -> "bta" | Eta -> "eta"
+
+let g_se_reads = "se_reads"
+let g_se_writes = "se_writes"
+let g_bt = "bt"
+let g_et = "et"
+
+let attr_globals = [ g_se_reads; g_se_writes; g_bt; g_et ]
+
+(* Globals every phase model shares. The four attribute arrays stand for
+   the leaves of the Attrs tree (Figure 4): one cell per statement. The
+   stmt_* tables are the analyzed program itself — read-only input. *)
+let shared_decls =
+  {|
+int n_stmts = 64;
+int n_funcs = 8;
+int se_reads[64];
+int se_writes[64];
+int bt[64];
+int et[64];
+int stmt_kind[64];
+int stmt_var[64];
+int stmt_callee[64];
+int changed = 0;
+|}
+
+(* Side-effect analysis: recompute each statement's read/write sets under
+   the current function summaries, store them through change-detecting
+   barriers, and fold the stored sets back into the summaries — exactly
+   the structure of Ickpt_analysis.Sea.round. Only the se_* attribute
+   arrays are written; bt/et are never touched. *)
+let sea_src =
+  shared_decls
+  ^ {|
+int summary_reads[8];
+int summary_writes[8];
+
+int reads_of(int s) {
+  return stmt_var[s] + summary_reads[stmt_callee[s]];
+}
+
+int writes_of(int s) {
+  if (stmt_kind[s] == 1) {
+    return stmt_var[s] + summary_writes[stmt_callee[s]];
+  }
+  return summary_writes[stmt_callee[s]];
+}
+
+void store_effects(int s) {
+  int r;
+  int w;
+  r = reads_of(s);
+  w = writes_of(s);
+  if (se_reads[s] != r) {
+    se_reads[s] = r;
+    changed = 1;
+  }
+  if (se_writes[s] != w) {
+    se_writes[s] = w;
+    changed = 1;
+  }
+}
+
+void update_summary(int f) {
+  int s;
+  s = 0;
+  while (s < n_stmts) {
+    if (stmt_callee[s] == f) {
+      if (summary_reads[f] < se_reads[s]) {
+        summary_reads[f] = se_reads[s];
+        changed = 1;
+      }
+      if (summary_writes[f] < se_writes[s]) {
+        summary_writes[f] = se_writes[s];
+        changed = 1;
+      }
+    }
+    s = s + 1;
+  }
+}
+
+void sea_round() {
+  int s;
+  int f;
+  s = 0;
+  while (s < n_stmts) {
+    store_effects(s);
+    s = s + 1;
+  }
+  f = 0;
+  while (f < n_funcs) {
+    update_summary(f);
+    f = f + 1;
+  }
+}
+
+int main() {
+  changed = 1;
+  while (changed > 0) {
+    changed = 0;
+    sea_round();
+  }
+  return se_reads[0] + se_writes[0];
+}
+|}
+
+(* Binding-time analysis: chaotic iteration raising variable binding
+   times from the division, annotating each statement's BT cell — the
+   structure of Ickpt_analysis.Bta_phase.round. Writes only bt. *)
+let bta_src =
+  shared_decls
+  ^ {|
+int division[16];
+int var_bt[16];
+int fun_ctx[8];
+int fun_ret[8];
+
+int join(int a, int b) {
+  if (a > b) {
+    return a;
+  }
+  return b;
+}
+
+int expr_bt(int s) {
+  return join(var_bt[stmt_var[s]], fun_ret[stmt_callee[s]]);
+}
+
+void raise_var(int v, int b) {
+  if (var_bt[v] < b) {
+    var_bt[v] = b;
+    changed = 1;
+  }
+}
+
+void annotate(int s, int b) {
+  if (bt[s] != b) {
+    bt[s] = b;
+    changed = 1;
+  }
+}
+
+void init_division() {
+  int g;
+  g = 0;
+  while (g < 16) {
+    if (division[g] > 0) {
+      var_bt[g] = 1;
+    } else {
+      var_bt[g] = 2;
+    }
+    g = g + 1;
+  }
+}
+
+void bta_round() {
+  int s;
+  int b;
+  s = 0;
+  while (s < n_stmts) {
+    b = join(fun_ctx[stmt_callee[s]], expr_bt(s));
+    raise_var(stmt_var[s], b);
+    if (fun_ctx[stmt_callee[s]] < b) {
+      fun_ctx[stmt_callee[s]] = b;
+      changed = 1;
+    }
+    if (fun_ret[stmt_callee[s]] < b) {
+      fun_ret[stmt_callee[s]] = b;
+      changed = 1;
+    }
+    annotate(s, b);
+    s = s + 1;
+  }
+}
+
+int main() {
+  init_division();
+  changed = 1;
+  while (changed > 0) {
+    changed = 0;
+    bta_round();
+  }
+  return bt[0];
+}
+|}
+
+(* Evaluation-time analysis: like BTA but seeded from the converged
+   binding times — it reads the bt cells (a statement BTA marked dynamic
+   is run-time outright) and writes only et, the structure of
+   Ickpt_analysis.Eta_phase.round. *)
+let eta_src =
+  shared_decls
+  ^ {|
+int division[16];
+int var_et[16];
+int fun_ctx[8];
+int fun_ret[8];
+
+int join(int a, int b) {
+  if (a > b) {
+    return a;
+  }
+  return b;
+}
+
+int expr_et(int s) {
+  return join(var_et[stmt_var[s]], fun_ret[stmt_callee[s]]);
+}
+
+void raise_var(int v, int e) {
+  if (var_et[v] < e) {
+    var_et[v] = e;
+    changed = 1;
+  }
+}
+
+void annotate(int s, int e) {
+  if (et[s] != e) {
+    et[s] = e;
+    changed = 1;
+  }
+}
+
+void init_division() {
+  int g;
+  g = 0;
+  while (g < 16) {
+    if (division[g] > 0) {
+      var_et[g] = 1;
+    } else {
+      var_et[g] = 2;
+    }
+    g = g + 1;
+  }
+}
+
+void eta_round() {
+  int s;
+  int e;
+  s = 0;
+  while (s < n_stmts) {
+    if (bt[s] == 2) {
+      e = 2;
+    } else {
+      e = join(fun_ctx[stmt_callee[s]], expr_et(s));
+    }
+    raise_var(stmt_var[s], e);
+    if (fun_ret[stmt_callee[s]] < e) {
+      fun_ret[stmt_callee[s]] = e;
+      changed = 1;
+    }
+    annotate(s, e);
+    s = s + 1;
+  }
+}
+
+int main() {
+  init_division();
+  changed = 1;
+  while (changed > 0) {
+    changed = 0;
+    eta_round();
+  }
+  return et[0];
+}
+|}
+
+let source = function Sea -> sea_src | Bta -> bta_src | Eta -> eta_src
+
+let envs : (phase, Minic.Check.env) Hashtbl.t = Hashtbl.create 3
+
+let env phase =
+  match Hashtbl.find_opt envs phase with
+  | Some e -> e
+  | None ->
+      let e = Minic.Check.check (Minic.Parser.parse (source phase)) in
+      Hashtbl.add envs phase e;
+      e
+
+let program phase = (env phase).Minic.Check.program

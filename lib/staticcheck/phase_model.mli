@@ -1,0 +1,49 @@
+(** The three analysis phases of the engine, as analyzable programs.
+
+    [Attrs] hardcodes a specialization class per phase; to *derive* those
+    classes instead, the effect analysis needs the phases themselves in a
+    form it can analyze. Each phase's fixpoint round (see
+    [Ickpt_analysis.Sea], [Bta_phase], [Eta_phase]) is faithfully modeled
+    here as a mini-C program whose globals stand for the leaves of the
+    attribute tree:
+
+    - [se_reads]/[se_writes] — the [SEEntry] list slots (one cell per
+      statement);
+    - [bt] — the [BT] annotation cells;
+    - [et] — the [ET] annotation cells.
+
+    Scratch state the real phases keep in OCaml hash tables (function
+    summaries, per-variable binding times) appears as ordinary globals
+    with no attribute mapping; the [stmt_*] tables are the analyzed
+    program itself, read-only. A phase model writes an attribute global
+    iff the real phase calls the corresponding [Attrs] setter, so the
+    interprocedural write effect of the model's [main] is exactly the
+    phase's possible modification effect on the attribute tree. *)
+
+type phase = Sea | Bta | Eta
+
+val all : phase list
+
+val name : phase -> string
+(** ["sea"], ["bta"], ["eta"]. *)
+
+(** {1 Attribute-global names} *)
+
+val g_se_reads : string
+val g_se_writes : string
+val g_bt : string
+val g_et : string
+
+val attr_globals : string list
+
+(** {1 The models} *)
+
+val source : phase -> string
+(** Mini-C source text of the phase model. *)
+
+val program : phase -> Minic.Ast.program
+
+val env : phase -> Minic.Check.env
+(** The checked model (parsed once, memoized).
+    @raise Minic.Check.Check_error only if a model is ill-formed (a bug
+    here, not in user input). *)

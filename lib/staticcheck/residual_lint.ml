@@ -1,0 +1,145 @@
+open Jspec.Cklang
+
+type finding = { path : string; reason : string }
+
+(* ---- what a subtree can invalidate -------------------------------------- *)
+
+(* Facts track the known value of [Modified p] for residual object paths
+   p (pure expressions, so structural equality is sound — cf. Pe.facts).
+   A [Reset_modified p] kills the fact for p; any call may reset flags
+   anywhere (the generic routine does), killing everything. *)
+type kill = All | Paths of expr list
+
+let kill_none = Paths []
+
+let kill_union a b =
+  match (a, b) with
+  | All, _ | _, All -> All
+  | Paths x, Paths y -> Paths (x @ y)
+
+let rec killed stmts = List.fold_left (fun k s -> kill_union k (killed_stmt s)) kill_none stmts
+
+and killed_stmt = function
+  | Write _ -> kill_none
+  | Reset_modified p -> Paths [ p ]
+  | Invoke_virtual _ | Call _ | Call_generic _ -> All
+  | If (_, t, f) -> kill_union (killed t) (killed f)
+  | Let (_, _, body) | For (_, _, _, body) -> killed body
+
+let apply_kill k facts =
+  match k with
+  | All -> []
+  | Paths ps -> List.filter (fun (p, _) -> not (List.mem p ps)) facts
+
+(* ---- condition reasoning ------------------------------------------------ *)
+
+let rec fact_of cond value =
+  match cond with
+  | Modified p -> Some (p, value)
+  | Not e -> fact_of e (not value)
+  | _ -> None
+
+let with_fact facts cond value =
+  match fact_of cond value with
+  | None -> facts
+  | Some (p, v) -> (p, v) :: List.remove_assoc p facts
+
+let rec known facts = function
+  | Const n -> Some (n <> 0)
+  | Modified p -> List.assoc_opt p facts
+  | Not e -> Option.map not (known facts e)
+  | _ -> None
+
+(* ---- variable uses ------------------------------------------------------ *)
+
+let rec expr_uses v = function
+  | Const _ -> false
+  | Var w -> w = v
+  | Int_field (a, b) | Child (a, b) -> expr_uses v a || expr_uses v b
+  | Id_of e | Kid_of e | Modified e | Is_null e | Not e | N_ints e
+  | N_children e ->
+      expr_uses v e
+  | Cond (a, b, c) -> expr_uses v a || expr_uses v b || expr_uses v c
+
+let rec stmts_use v = List.exists (stmt_uses v)
+
+and stmt_uses v = function
+  | Write e | Reset_modified e | Invoke_virtual (_, e) | Call (_, e)
+  | Call_generic e ->
+      expr_uses v e
+  | If (c, t, f) -> expr_uses v c || stmts_use v t || stmts_use v f
+  | Let (w, e, body) -> expr_uses v e || (w <> v && stmts_use v body)
+  | For (w, lo, hi, body) ->
+      expr_uses v lo || expr_uses v hi || (w <> v && stmts_use v body)
+
+(* ---- the lint ----------------------------------------------------------- *)
+
+let lint ?(root = "body") stmts =
+  let out = ref [] in
+  let add path fmt =
+    Format.kasprintf (fun reason -> out := { path; reason } :: !out) fmt
+  in
+  let rec seq path facts stmts =
+    let _, facts =
+      List.fold_left
+        (fun (idx, facts) s ->
+          (idx + 1, stmt (Printf.sprintf "%s[%d]" path idx) facts s))
+        (0, facts) stmts
+    in
+    facts
+  and stmt path facts s =
+    match s with
+    | Write _ -> facts
+    | Reset_modified p ->
+        if known facts (Modified p) = Some false then
+          add path "redundant reset: modified flag already known clear";
+        (p, false) :: List.remove_assoc p facts
+    | If (c, t, f) ->
+        (match c with
+        | Const _ -> add path "constant condition: a branch is unreachable"
+        | _ -> (
+            match known facts c with
+            | Some b ->
+                add path "redundant modified-flag test: condition is always %b"
+                  b
+            | None -> ()));
+        if t = [] && f = [] then add path "dead test: both branches empty";
+        ignore (seq (path ^ ".then") (with_fact facts c true) t);
+        ignore (seq (path ^ ".else") (with_fact facts c false) f);
+        apply_kill (kill_union (killed t) (killed f)) facts
+    | Let (v, _, body) ->
+        if body = [] then add path "dead store: empty let body";
+        if body <> [] && not (stmts_use v body) then
+          add path "dead store: binding v%d is never used" v;
+        (* The body runs exactly once, but facts on the bound variable
+           must not escape its scope; killing the body's resets keeps the
+           rest conservative. *)
+        ignore (seq (path ^ ".let") facts body);
+        apply_kill (killed body) facts
+    | For (v, lo, hi, body) ->
+        (match (lo, hi) with
+        | Const a, Const b when a >= b ->
+            add path "unreachable loop: constant range [%d, %d)" a b
+        | _ -> ());
+        if body = [] then add path "dead store: empty loop body";
+        ignore (seq (path ^ ".for") (apply_kill (killed body) facts) body);
+        ignore v;
+        apply_kill (killed body) facts
+    | Invoke_virtual _ | Call _ | Call_generic _ -> []
+  in
+  ignore (seq root [] stmts);
+  List.sort
+    (fun a b -> compare (a.path, a.reason) (b.path, b.reason))
+    !out
+
+let lint_result (r : Jspec.Pe.result) = lint ~root:"checkpoint" r.Jspec.Pe.body
+
+let pp_finding ppf f = Format.fprintf ppf "%s: %s" f.path f.reason
+
+let pp_report ppf = function
+  | [] -> Format.pp_print_string ppf "residual-lint: clean"
+  | fs ->
+      Format.fprintf ppf "@[<v>residual-lint: %d finding(s)@,%a@]"
+        (List.length fs)
+        (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_finding)
+        fs

@@ -1,0 +1,111 @@
+open Jspec
+
+type verdict = Unsound | Imprecise
+
+type diagnostic = {
+  verdict : verdict;
+  phase : string;
+  path : string;
+  klass : string;
+  reason : string;
+}
+
+let verdict_name = function Unsound -> "unsound" | Imprecise -> "imprecise"
+
+(* Same rendering as Guard's violation paths, so lint findings and
+   runtime guard reports point at the same places the same way. *)
+let render_path rev_slots =
+  List.fold_left
+    (fun acc slot -> Printf.sprintf "%s.children[%d]" acc slot)
+    "root" (List.rev rev_slots)
+
+let child_kind = function
+  | Sclass.Null_child -> "Null_child"
+  | Sclass.Exact _ -> "Exact"
+  | Sclass.Nullable _ -> "Nullable"
+  | Sclass.Unknown -> "Unknown"
+  | Sclass.Clean_opaque -> "Clean_opaque"
+
+let compare_shapes ~phase ~declared ~inferred =
+  let out = ref [] in
+  let add rev_path verdict klass fmt =
+    Format.kasprintf
+      (fun reason ->
+        out :=
+          { verdict; phase; path = render_path rev_path; klass; reason }
+          :: !out)
+      fmt
+  in
+  let rec go rev_path (d : Sclass.shape) (i : Sclass.shape) =
+    let kname = d.Sclass.klass.Ickpt_runtime.Model.kname in
+    if
+      d.Sclass.klass.Ickpt_runtime.Model.kid
+      <> i.Sclass.klass.Ickpt_runtime.Model.kid
+    then
+      add rev_path Unsound kname "declared class %s, inference expects %s"
+        kname i.Sclass.klass.Ickpt_runtime.Model.kname
+    else begin
+      (match (d.Sclass.status, i.Sclass.status) with
+      | Sclass.Clean, Sclass.Tracked ->
+          add rev_path Unsound kname
+            "declared Clean, but the phase may modify it"
+      | Sclass.Tracked, Sclass.Clean ->
+          add rev_path Imprecise kname
+            "declared Tracked, but the phase never modifies it"
+      | Sclass.Clean, Sclass.Clean | Sclass.Tracked, Sclass.Tracked -> ());
+      Array.iteri
+        (fun j dc ->
+          let ic = i.Sclass.children.(j) in
+          let rev_path = j :: rev_path in
+          match (dc, ic) with
+          | Sclass.Null_child, Sclass.Null_child
+          | Sclass.Unknown, Sclass.Unknown
+          | Sclass.Clean_opaque, Sclass.Clean_opaque ->
+              ()
+          | (Sclass.Exact d' | Sclass.Nullable d'),
+            (Sclass.Exact i' | Sclass.Nullable i') ->
+              go rev_path d' i'
+          | Sclass.Clean_opaque, Sclass.Unknown ->
+              add rev_path Unsound kname
+                "subtree declared Clean_opaque, but the phase may modify it"
+          | (Sclass.Exact d' | Sclass.Nullable d'), Sclass.Clean_opaque ->
+              if not (Sclass.all_clean d') then
+                add rev_path Imprecise kname
+                  "subtree declared modifiable, but the phase never touches \
+                   it"
+          | Sclass.Unknown, Sclass.Clean_opaque ->
+              add rev_path Imprecise kname
+                "child declared Unknown, but the whole subtree is provably \
+                 clean"
+          | Sclass.Unknown, (Sclass.Exact _ | Sclass.Nullable _) ->
+              add rev_path Imprecise kname
+                "child declared Unknown, but inference knows its shape"
+          | dc, ic ->
+              add rev_path Unsound kname
+                "structural mismatch: declared %s, inference expects %s"
+                (child_kind dc) (child_kind ic))
+        d.Sclass.children
+    end
+  in
+  go [] declared inferred;
+  List.sort
+    (fun a b ->
+      compare (a.path, a.verdict, a.reason) (b.path, b.verdict, b.reason))
+    !out
+
+let check_phase ~klasses phase ~declared =
+  let inferred = Infer.derived_shape ~klasses phase in
+  compare_shapes ~phase:(Phase_model.name phase) ~declared ~inferred
+
+let has_unsound = List.exists (fun d -> d.verdict = Unsound)
+
+let pp_diagnostic ppf d =
+  Format.fprintf ppf "[%s] phase %s, %s (%s): %s" (verdict_name d.verdict)
+    d.phase d.path d.klass d.reason
+
+let pp_report ppf = function
+  | [] -> Format.pp_print_string ppf "spec-lint: no findings"
+  | ds ->
+      Format.fprintf ppf "@[<v>spec-lint: %d finding(s)@,%a@]" (List.length ds)
+        (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_diagnostic)
+        ds

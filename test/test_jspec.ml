@@ -422,6 +422,138 @@ let plan_opt_simplifies () =
   | Const 5 -> ()
   | _ -> Alcotest.fail "static cond kept"
 
+let plan_opt_nested_empty () =
+  let open Cklang in
+  (* Conditionals that are empty only after their nested conditionals
+     collapse must themselves collapse — the pass is bottom-up. *)
+  let s =
+    [ If
+        ( Modified (Var 0),
+          [ If (Is_null (Child (Var 0, Const 0)), [], []) ],
+          [ If (Modified (Var 1), [], [ If (Const 1, [], []) ]) ] ) ]
+  in
+  Alcotest.(check int) "nested empties collapse" 0 (List.length (Plan_opt.simplify s));
+  (* Same through let and loop bodies. *)
+  let s =
+    [ Let
+        ( 1,
+          Child (Var 0, Const 0),
+          [ For (2, Const 0, Const 4, [ If (Const 0, [], []) ]) ] ) ]
+  in
+  Alcotest.(check int) "empty bodies cascade" 0 (List.length (Plan_opt.simplify s))
+
+let plan_opt_const_guard_bounds () =
+  let open Cklang in
+  (* Constant-folded guards feeding loop bounds: the bounds simplify but
+     the loop survives with the residual dynamic bound. *)
+  let s =
+    [ For
+        ( 1,
+          Cond (Const 1, Const 0, Const 9),
+          Cond (Const 0, Const 7, N_children (Var 0)),
+          [ Write (Int_field (Var 0, Var 1)) ] ) ]
+  in
+  match Plan_opt.simplify s with
+  | [ For (1, Const 0, N_children (Var 0), [ Write (Int_field (Var 0, Var 1)) ]) ]
+    -> ()
+  | other -> Alcotest.failf "bounds not folded: %a" pp_stmts other
+
+(* A generator of arbitrary (not Pe-produced) residual statements, for
+   idempotence: unlike sdesc_gen-derived programs these include dead
+   code, constant guards and unused bindings. *)
+let cklang_expr_gen =
+  let open QCheck2.Gen in
+  sized
+  @@ fix (fun self n ->
+         let base =
+           oneof
+             [ map (fun i -> Cklang.Const i) (int_range (-1) 2);
+               map (fun v -> Cklang.Var v) (int_range 0 3) ]
+         in
+         if n = 0 then base
+         else
+           let sub = self (n / 2) in
+           oneof
+             [ base;
+               map (fun e -> Cklang.Not e) sub;
+               map (fun e -> Cklang.Modified e) sub;
+               map (fun e -> Cklang.Is_null e) sub;
+               map2 (fun a b -> Cklang.Child (a, b)) sub sub;
+               map3 (fun a b c -> Cklang.Cond (a, b, c)) sub sub sub ])
+
+let cklang_stmt_gen =
+  let open QCheck2.Gen in
+  sized
+  @@ fix (fun self n ->
+         let e = cklang_expr_gen in
+         let base =
+           oneof
+             [ map (fun x -> Cklang.Write x) e;
+               map (fun x -> Cklang.Reset_modified x) e;
+               map (fun x -> Cklang.Call_generic x) e ]
+         in
+         if n = 0 then base
+         else
+           let body = list_size (int_range 0 3) (self (n / 4)) in
+           oneof
+             [ base;
+               map3 (fun c t f -> Cklang.If (c, t, f)) e body body;
+               map3 (fun v x b -> Cklang.Let (v, x, b)) (int_range 1 3) e body;
+               map3
+                 (fun lo hi b -> Cklang.For (1, lo, hi, b))
+                 e e body ])
+
+let prop_plan_opt_idempotent =
+  QCheck2.Test.make ~name:"Plan_opt.simplify is idempotent" ~count:300
+    QCheck2.Gen.(list_size (int_range 0 5) cklang_stmt_gen)
+    (fun ss ->
+      let once = Plan_opt.simplify ss in
+      Plan_opt.simplify once = once)
+
+(* ---- guard report ordering (satellite of the spec-lint work) ------------ *)
+
+let guard_sorted_report () =
+  let env = Test_util.make_env () in
+  let leaf_clean = Sclass.leaf ~status:Sclass.Clean env.Test_util.leaf in
+  let shape =
+    Sclass.shape ~status:Sclass.Clean env.Test_util.pair
+      [| Sclass.Exact leaf_clean; Sclass.Exact leaf_clean |]
+  in
+  let o = Heap.alloc env.Test_util.heap env.Test_util.pair in
+  let c0 = Heap.alloc env.Test_util.heap env.Test_util.leaf in
+  o.Model.children.(0) <- Some c0;
+  (* children[1] missing; root and children[0] dirty: three violations
+     across two reasons. *)
+  let vs = Guard.check shape o in
+  Alcotest.(check int) "three violations" 3 (List.length vs);
+  let keys = List.map (fun v -> (v.Guard.path, v.Guard.reason)) vs in
+  Alcotest.(check bool) "sorted by (path, reason)" true
+    (keys = List.sort compare keys);
+  (* Two heaps with the same defects report identically even though the
+     discovery order differs (fresh allocation order). *)
+  let env2 = Test_util.make_env () in
+  let shape2 =
+    Sclass.shape ~status:Sclass.Clean env2.Test_util.pair
+      [| Sclass.Exact (Sclass.leaf ~status:Sclass.Clean env2.Test_util.leaf);
+         Sclass.Exact (Sclass.leaf ~status:Sclass.Clean env2.Test_util.leaf) |]
+  in
+  let c0' = Heap.alloc env2.Test_util.heap env2.Test_util.leaf in
+  let o2 = Heap.alloc env2.Test_util.heap env2.Test_util.pair in
+  o2.Model.children.(0) <- Some c0';
+  Alcotest.(check (list string)) "stable across heaps"
+    (List.map (fun v -> v.Guard.path ^ ": " ^ v.Guard.reason) vs)
+    (List.map
+       (fun v -> v.Guard.path ^ ": " ^ v.Guard.reason)
+       (Guard.check shape2 o2));
+  let report = Format.asprintf "%a" Guard.pp_report vs in
+  Alcotest.(check bool) "report counts" true
+    (Test_util.contains_substring report "guard: 3 violation(s)");
+  Alcotest.(check bool) "report groups by reason" true
+    (Test_util.contains_substring report
+       "modified flag set on an object declared Clean (2):");
+  Alcotest.(check int) "reason groups" 2
+    (List.length (Guard.group_by_reason vs))
+
 (* ---- the I3 / I5 equivalence properties -------------------------------- *)
 
 let equal_runs (d, i) runner_a runner_b =
@@ -502,13 +634,17 @@ let suites =
           clean_node_still_traversed_for_dirty_child;
         Alcotest.test_case "bta consistency" `Quick bta_consistency;
         Alcotest.test_case "java pp renders" `Quick java_pp_renders;
-        Alcotest.test_case "plan_opt simplifies" `Quick plan_opt_simplifies ] );
+        Alcotest.test_case "plan_opt simplifies" `Quick plan_opt_simplifies;
+        Alcotest.test_case "plan_opt nested empty" `Quick plan_opt_nested_empty;
+        Alcotest.test_case "plan_opt constant bounds" `Quick
+          plan_opt_const_guard_bounds ] );
     ( "jspec-guard",
       [ Alcotest.test_case "accepts conforming" `Quick guard_accepts_conforming;
         Alcotest.test_case "detects violations" `Quick guard_detects_violations;
         Alcotest.test_case "checked runner" `Quick guard_checked_runner;
         Alcotest.test_case "compiled null violation" `Quick
-          compiled_null_violation ] );
+          compiled_null_violation;
+        Alcotest.test_case "sorted grouped report" `Quick guard_sorted_report ] );
     ( "jspec-equivalence",
       [ QCheck_alcotest.to_alcotest prop_spec_interp_equals_generic;
         QCheck_alcotest.to_alcotest prop_spec_compiled_equals_generic;
@@ -517,4 +653,5 @@ let suites =
         QCheck_alcotest.to_alcotest prop_guard_accepts_conforming_cases;
         QCheck_alcotest.to_alcotest prop_plan_opt_preserves_semantics;
         QCheck_alcotest.to_alcotest prop_plan_opt_never_grows;
+        QCheck_alcotest.to_alcotest prop_plan_opt_idempotent;
         QCheck_alcotest.to_alcotest prop_cache_key_is_structural_equality ] ) ]

@@ -1,0 +1,310 @@
+(* Tests for the static-analysis subsystem: interprocedural effects,
+   phase models, derived specialization classes, spec-lint and the
+   residual-code lint — plus the agreement between the static verdicts
+   and Jspec.Guard's runtime verdicts on a live heap. *)
+
+open Ickpt_analysis
+open Staticcheck
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+let check_strings = Alcotest.(check (list string))
+let check_ints = Alcotest.(check (list int))
+
+(* ---- effect inference ---------------------------------------------------- *)
+
+let cells l = Effects.Cells (Effects.Int_set.of_list l)
+
+let effects_seg_lattice () =
+  check_bool "cells union" true
+    (Effects.seg_equal (cells [ 1; 2; 3 ])
+       (Effects.seg_join (cells [ 1; 2 ]) (cells [ 2; 3 ])));
+  check_bool "whole absorbs" true
+    (Effects.seg_equal Effects.Whole
+       (Effects.seg_join Effects.Whole (cells [ 0 ])));
+  (* Large unions widen to Whole so the fixpoint lattice stays finite. *)
+  let a = cells (List.init 40 Fun.id) in
+  let b = cells (List.init 40 (fun i -> i + 35)) in
+  check_bool "wide union widens" true
+    (Effects.seg_equal Effects.Whole (Effects.seg_join a b))
+
+let effects_small_program () =
+  let p = Minic.Gen.small_program () in
+  let env = Minic.Check.check p in
+  let s = Effects.compute env in
+  check_bool "double is pure" true
+    (Effects.equal Effects.empty (Effects.of_func s "double"));
+  let fill = Effects.of_func s "fill" in
+  check_bool "fill writes buf whole" true
+    (match Effects.write_seg env fill "buf" with
+    | Some Effects.Whole -> true
+    | _ -> false);
+  check_bool "fill does not read a" false (Effects.reads_name env fill "a");
+  let main = Effects.of_func s "main" in
+  check_bool "main writes a" true (Effects.writes_name env main "a");
+  check_bool "main writes buf transitively" true
+    (Effects.writes_name env main "buf");
+  (* Constant-index reads stay precise even through the summary join. *)
+  let gid = Option.get (Minic.Check.global_id env "buf") in
+  match Effects.Gid_map.find_opt gid main.Effects.reads with
+  | Some (Effects.Cells set) ->
+      check_ints "main reads buf[3,7]" [ 3; 7 ] (Effects.Int_set.elements set)
+  | _ -> Alcotest.fail "expected precise read cells for buf"
+
+let effects_image_program () =
+  let p = Minic.Gen.image_program ~n_filters:2 () in
+  let env = Minic.Check.check p in
+  let s = Effects.compute env in
+  check_bool "clamp is pure" true
+    (Effects.equal Effects.empty (Effects.of_func s "clamp"));
+  let f0 = Effects.of_func s "filter_0" in
+  (* The nine constant-index tap stores stay a precise segment... *)
+  check_bool "filter writes kernel[0..8]" true
+    (match Effects.write_seg env f0 "kernel" with
+    | Some seg -> Effects.seg_equal seg (cells [ 0; 1; 2; 3; 4; 5; 6; 7; 8 ])
+    | None -> false);
+  (* ...computed-index stores widen, and the commit shows through the
+     call: filter_0 itself never assigns image. *)
+  check_bool "filter writes temp whole" true
+    (match Effects.write_seg env f0 "temp" with
+    | Some Effects.Whole -> true
+    | _ -> false);
+  check_bool "filter writes image via commit_temp" true
+    (Effects.writes_name env f0 "image");
+  check_bool "filter reads height" true (Effects.reads_name env f0 "height");
+  let main = Effects.of_func s "main" in
+  check_bool "main accumulates filter writes" true
+    (Effects.writes_name env main "kernel"
+    && Effects.writes_name env main "image")
+
+(* ---- phase models and derivation ----------------------------------------- *)
+
+let models_wellformed () =
+  List.iter
+    (fun phase ->
+      let env = Phase_model.env phase in
+      List.iter
+        (fun g ->
+          check_bool
+            (Printf.sprintf "%s declares %s" (Phase_model.name phase) g)
+            true
+            (Minic.Check.global_id env g <> None))
+        Phase_model.attr_globals)
+    Phase_model.all
+
+let derivation_flags () =
+  let d_sea = Infer.derive Phase_model.Sea in
+  let d_bta = Infer.derive Phase_model.Bta in
+  let d_eta = Infer.derive Phase_model.Eta in
+  check_bool "sea writes lists" true d_sea.Infer.writes_lists;
+  check_bool "sea leaves bt alone" false d_sea.Infer.writes_bt;
+  check_bool "sea leaves et alone" false d_sea.Infer.writes_et;
+  check_bool "bta writes bt only" true
+    (d_bta.Infer.writes_bt
+    && (not d_bta.Infer.writes_lists)
+    && not d_bta.Infer.writes_et);
+  check_bool "eta writes et only" true
+    (d_eta.Infer.writes_et
+    && (not d_eta.Infer.writes_lists)
+    && not d_eta.Infer.writes_bt);
+  (* ETA consults binding times but must not change them. *)
+  check_bool "eta reads bt" true
+    (Effects.reads_name (Phase_model.env Phase_model.Eta) d_eta.Infer.effects
+       Phase_model.g_bt)
+
+let derived_shapes_match_shipped () =
+  let attrs = Attrs.create ~n_stmts:1 in
+  let klasses = Attrs.klasses attrs in
+  let key = Jspec.Spec_cache.shape_key in
+  List.iter
+    (fun (phase, shipped) ->
+      check_string
+        (Printf.sprintf "derived %s == hand-written" (Phase_model.name phase))
+        (key shipped)
+        (key (Infer.derived_shape ~klasses phase)))
+    [ (Phase_model.Sea, Attrs.sea_shape attrs);
+      (Phase_model.Bta, Attrs.bta_shape attrs);
+      (Phase_model.Eta, Attrs.eta_shape attrs) ]
+
+(* ---- spec-lint ------------------------------------------------------------ *)
+
+let shipped_declarations_clean () =
+  let attrs = Attrs.create ~n_stmts:1 in
+  let klasses = Attrs.klasses attrs in
+  List.iter
+    (fun (phase, declared) ->
+      check_int
+        (Printf.sprintf "%s lint-clean" (Phase_model.name phase))
+        0
+        (List.length (Spec_lint.check_phase ~klasses phase ~declared)))
+    [ (Phase_model.Sea, Attrs.sea_shape attrs);
+      (Phase_model.Bta, Attrs.bta_shape attrs);
+      (Phase_model.Eta, Attrs.eta_shape attrs) ]
+
+let wrong_declaration_unsound () =
+  let attrs = Attrs.create ~n_stmts:1 in
+  let klasses = Attrs.klasses attrs in
+  (* The bta declaration (SEEntry subtree clean) is unsound for the sea
+     phase, which writes the side-effect lists. *)
+  let ds =
+    Spec_lint.check_phase ~klasses Phase_model.Sea
+      ~declared:(Attrs.bta_shape attrs)
+  in
+  check_bool "unsound detected" true (Spec_lint.has_unsound ds);
+  check_bool "SEEntry flagged" true
+    (List.exists
+       (fun d ->
+         d.Spec_lint.verdict = Spec_lint.Unsound
+         && d.Spec_lint.path = "root.children[0]")
+       ds);
+  (* Deterministic: sorted by path. *)
+  let paths = List.map (fun d -> d.Spec_lint.path) ds in
+  check_strings "paths sorted" (List.sort compare paths) paths
+
+let cross_declaration_both_verdicts () =
+  let attrs = Attrs.create ~n_stmts:1 in
+  let klasses = Attrs.klasses attrs in
+  (* The sea declaration for the bta phase is both unsound (BT leaf
+     declared clean but written) and imprecise (side-effect lists tracked
+     but never written by bta). *)
+  let ds =
+    Spec_lint.check_phase ~klasses Phase_model.Bta
+      ~declared:(Attrs.sea_shape attrs)
+  in
+  check_bool "has unsound" true
+    (List.exists (fun d -> d.Spec_lint.verdict = Spec_lint.Unsound) ds);
+  check_bool "has imprecise" true
+    (List.exists (fun d -> d.Spec_lint.verdict = Spec_lint.Imprecise) ds)
+
+(* The static verdicts must agree with Jspec.Guard at runtime: after a
+   real sea run on a live heap, the derived sea declaration passes the
+   guard on every root, while the declaration the lint calls unsound is
+   also rejected by the guard. *)
+let lint_agrees_with_guard () =
+  let p = Minic.Gen.image_program ~n_filters:2 () in
+  let env = Minic.Check.check p in
+  let attrs = Attrs.create ~n_stmts:(Minic.Ast.stmt_count p) in
+  Ickpt_runtime.Heap.clear_all_modified (Attrs.heap attrs);
+  ignore (Sea.run env attrs);
+  let klasses = Attrs.klasses attrs in
+  let inferred = Infer.derived_shape ~klasses Phase_model.Sea in
+  let roots = Attrs.roots attrs in
+  check_bool "derived sea shape guards clean" true
+    (List.for_all (fun r -> Jspec.Guard.check inferred r = []) roots);
+  let unsound = Attrs.bta_shape attrs in
+  check_bool "statically unsound shape also fails at runtime" true
+    (List.exists (fun r -> Jspec.Guard.check unsound r <> []) roots)
+
+(* ---- residual lint -------------------------------------------------------- *)
+
+let residual_shipped_clean () =
+  let attrs = Attrs.create ~n_stmts:3 in
+  List.iter
+    (fun (name, shape) ->
+      check_int
+        (Printf.sprintf "%s residual lint-clean" name)
+        0
+        (List.length (Residual_lint.lint_result (Jspec.Pe.specialize shape))))
+    [ ("sea", Attrs.sea_shape attrs);
+      ("bta", Attrs.bta_shape attrs);
+      ("eta", Attrs.eta_shape attrs) ]
+
+let residual_flags_defects () =
+  let open Jspec.Cklang in
+  let reasons stmts =
+    List.map (fun f -> f.Residual_lint.reason) (Residual_lint.lint stmts)
+  in
+  check_strings "constant condition"
+    [ "constant condition: a branch is unreachable" ]
+    (reasons [ If (Const 1, [ Write (Const 0) ], []) ]);
+  check_strings "redundant nested modified test"
+    [ "redundant modified-flag test: condition is always true" ]
+    (reasons
+       [ If
+           ( Modified (Var 0),
+             [ If (Modified (Var 0), [ Write (Const 0) ], []) ],
+             [] ) ]);
+  check_strings "redundant reset in else branch"
+    [ "redundant reset: modified flag already known clear" ]
+    (reasons
+       [ If (Modified (Var 0), [ Write (Const 0) ], [ Reset_modified (Var 0) ]) ]);
+  check_strings "dead test" [ "dead test: both branches empty" ]
+    (reasons [ If (Is_null (Var 0), [], []) ]);
+  check_strings "dead binding" [ "dead store: binding v1 is never used" ]
+    (reasons [ Let (1, Child (Var 0, Const 0), [ Write (Const 0) ]) ]);
+  check_strings "unreachable loop" [ "unreachable loop: constant range [3, 3)" ]
+    (reasons [ For (1, Const 3, Const 3, [ Write (Var 1) ]) ])
+
+let residual_calls_kill_facts () =
+  let open Jspec.Cklang in
+  (* The generic routine may reset flags anywhere, so a second test on
+     the same path after a call is NOT redundant. *)
+  check_int "call invalidates modified facts" 0
+    (List.length
+       (Residual_lint.lint
+          [ If
+              ( Modified (Var 0),
+                [ Call_generic (Child (Var 0, Const 0));
+                  If (Modified (Var 0), [ Write (Const 0) ], []) ],
+                [] ) ]))
+
+(* ---- unified findings and engine preflight -------------------------------- *)
+
+let finding_report_groups () =
+  let fs =
+    [ Finding.of_residual ~phase:"sea"
+        { Residual_lint.path = "checkpoint[1]"; reason = "dead test" };
+      Finding.of_residual ~phase:"sea"
+        { Residual_lint.path = "checkpoint[0]"; reason = "dead test" };
+      Finding.of_spec
+        { Spec_lint.verdict = Spec_lint.Unsound;
+          phase = "sea";
+          path = "root.children[0]";
+          klass = "SEEntry";
+          reason = "declared Clean, but the phase may modify it" } ]
+  in
+  let sorted = Finding.sort fs in
+  check_bool "errors detected" true (Finding.has_errors sorted);
+  check_int "one error" 1 (Finding.count Finding.Error sorted);
+  check_int "two warnings" 2 (Finding.count Finding.Warning sorted);
+  let out = Format.asprintf "%a" Finding.pp_report sorted in
+  check_bool "summary line" true
+    (Test_util.contains_substring out "lint: 1 error(s), 2 warning(s)");
+  check_bool "grouped by reason" true
+    (Test_util.contains_substring out "dead test (2):")
+
+let engine_preflight_accepts_shipped () =
+  let attrs = Attrs.create ~n_stmts:2 in
+  check_int "no diagnostics" 0 (List.length (Engine.preflight attrs));
+  let r =
+    Engine.analyze ~mode:Engine.Specialized ~preflight:true ~bta_min:3
+      (Minic.Gen.image_program ~n_filters:2 ())
+  in
+  check_int "analysis ran all phases" 3 (List.length r.Engine.phases)
+
+let suites =
+  [ ( "effects",
+      [ Alcotest.test_case "segment lattice" `Quick effects_seg_lattice;
+        Alcotest.test_case "small program" `Quick effects_small_program;
+        Alcotest.test_case "image program" `Quick effects_image_program ] );
+    ( "infer",
+      [ Alcotest.test_case "models well-formed" `Quick models_wellformed;
+        Alcotest.test_case "derivation flags" `Quick derivation_flags;
+        Alcotest.test_case "derived == shipped shapes" `Quick
+          derived_shapes_match_shipped ] );
+    ( "spec-lint",
+      [ Alcotest.test_case "shipped declarations clean" `Quick
+          shipped_declarations_clean;
+        Alcotest.test_case "wrong declaration unsound" `Quick
+          wrong_declaration_unsound;
+        Alcotest.test_case "both verdicts" `Quick cross_declaration_both_verdicts;
+        Alcotest.test_case "agrees with guard" `Quick lint_agrees_with_guard ] );
+    ( "residual-lint",
+      [ Alcotest.test_case "shipped residual clean" `Quick residual_shipped_clean;
+        Alcotest.test_case "flags defects" `Quick residual_flags_defects;
+        Alcotest.test_case "calls kill facts" `Quick residual_calls_kill_facts ] );
+    ( "lint-report",
+      [ Alcotest.test_case "grouped report" `Quick finding_report_groups;
+        Alcotest.test_case "engine preflight" `Quick
+          engine_preflight_accepts_shipped ] ) ]
