@@ -1,21 +1,28 @@
 (* Static verification of specialization classes and residual code.
 
-   Three cooperating checks, all before any heap exists:
+   Two subcommands, both running before any heap exists:
 
-   1. effect inference — interprocedural read/write effects (with array
-      segments) of the workload program's functions;
-   2. spec-lint — the three phase declarations in Attrs, compared against
-      the shapes inferred from the phase models (unsound declarations are
-      errors, imprecise ones warnings);
-   3. residual lint — dead stores, unreachable branches and redundant
-      modified-flag tests left in the specialized checkpoint code.
+   - [lint] (the default): effect inference over the workload program,
+     spec-lint of the three shipped phase declarations against the
+     statically inferred shapes, and residual lint (dead stores,
+     unreachable branches, redundant modified tests) of the specialized
+     code;
+   - [verify]: translation validation — symbolically prove, for every
+     shipped specialization class (the three analysis phases and the
+     three synthetic-application knowledge levels), that the residual
+     checkpoint code writes byte-for-byte what the generic incremental
+     algorithm writes, on every conforming heap, before and after the
+     cleanup pass. [--seed-miscompile] mutates the residual code first
+     and demonstrates the refutations.
 
-   Exits non-zero iff any error-severity finding remains, so a seeded
-   unsound declaration (--seed-unsound) fails the build while the shipped
-   declarations pass. *)
+   Exit codes (both subcommands): 0 — clean; 1 — error-severity
+   findings (unsound declaration, refuted residual code); 2 — usage or
+   input error. *)
 
 open Cmdliner
 open Ickpt_analysis
+
+(* ---- shared arguments and helpers ---------------------------------------- *)
 
 let file_arg =
   let doc = "Mini-C source file to analyze (default: generated workload)." in
@@ -28,16 +35,9 @@ let workload_arg =
     & opt (enum [ ("image", `Image); ("small", `Small) ]) `Image
     & info [ "workload" ] ~doc)
 
-let seed_unsound_arg =
-  let doc =
-    "Additionally lint a deliberately wrong declaration (the bta shape \
-     declared for the sea phase) — must be reported unsound and fail."
-  in
-  Arg.(value & flag & info [ "seed-unsound" ] ~doc)
-
-let no_effects_arg =
-  let doc = "Skip the per-function effect table." in
-  Arg.(value & flag & info [ "no-effects" ] ~doc)
+let json_arg =
+  let doc = "Emit machine-readable JSON on stdout instead of the report." in
+  Arg.(value & flag & info [ "json" ] ~doc)
 
 let load_program file workload =
   match file with
@@ -60,26 +60,81 @@ let load_program file workload =
           Printf.eprintf "%s:%d:%d: %s\n" path line col message;
           exit 2)
 
+let check_program program =
+  match Minic.Check.check program with
+  | env -> env
+  | exception Minic.Check.Check_error msg ->
+      Printf.eprintf "check error: %s\n" msg;
+      exit 2
+
 let phase_shapes attrs =
   [ (Staticcheck.Phase_model.Sea, Attrs.sea_shape attrs);
     (Staticcheck.Phase_model.Bta, Attrs.bta_shape attrs);
     (Staticcheck.Phase_model.Eta, Attrs.eta_shape attrs) ]
 
-let run file workload seed_unsound no_effects =
-  let program = load_program file workload in
-  let env =
-    match Minic.Check.check program with
-    | env -> env
-    | exception Minic.Check.Check_error msg ->
-        Printf.eprintf "check error: %s\n" msg;
-        exit 2
+(* ---- JSON output ---------------------------------------------------------- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let finding_json (f : Staticcheck.Finding.t) =
+  Printf.sprintf {|{"severity":"%s","scope":"%s","path":"%s","reason":"%s"}|}
+    (Staticcheck.Finding.severity_name f.Staticcheck.Finding.severity)
+    (json_escape f.Staticcheck.Finding.scope)
+    (json_escape f.Staticcheck.Finding.path)
+    (json_escape f.Staticcheck.Finding.reason)
+
+(* The whole result as one JSON object: counts, the findings, and (for
+   verify) the proven shapes. *)
+let print_json ?(verified = []) findings =
+  let verified_json (shape, stage, vars, paths) =
+    Printf.sprintf {|{"shape":"%s","stage":"%s","vars":%d,"paths":%d}|}
+      (json_escape shape) (json_escape stage) vars paths
   in
-  Format.printf "ickpt_lint: %d function(s), %d statement(s), %d global(s)@."
-    (List.length program.Minic.Ast.funcs)
-    (Minic.Ast.stmt_count program)
-    (Minic.Check.global_count env);
+  Printf.printf {|{"errors":%d,"warnings":%d,"findings":[%s]%s}|}
+    (Staticcheck.Finding.count Staticcheck.Finding.Error findings)
+    (Staticcheck.Finding.count Staticcheck.Finding.Warning findings)
+    (String.concat "," (List.map finding_json findings))
+    (if verified = [] then ""
+     else
+       Printf.sprintf {|,"verified":[%s]|}
+         (String.concat "," (List.map verified_json verified)));
+  print_newline ()
+
+(* ---- lint (default subcommand) ------------------------------------------- *)
+
+let seed_unsound_arg =
+  let doc =
+    "Additionally lint a deliberately wrong declaration (the bta shape \
+     declared for the sea phase) — must be reported unsound and fail."
+  in
+  Arg.(value & flag & info [ "seed-unsound" ] ~doc)
+
+let no_effects_arg =
+  let doc = "Skip the per-function effect table." in
+  Arg.(value & flag & info [ "no-effects" ] ~doc)
+
+let run_lint file workload seed_unsound no_effects json =
+  let program = load_program file workload in
+  let env = check_program program in
+  if not json then
+    Format.printf "ickpt_lint: %d function(s), %d statement(s), %d global(s)@."
+      (List.length program.Minic.Ast.funcs)
+      (Minic.Ast.stmt_count program)
+      (Minic.Check.global_count env);
   (* 1. Effect inference over the workload. *)
-  if not no_effects then begin
+  if (not no_effects) && not json then begin
     let summaries = Staticcheck.Effects.compute env in
     Format.printf "@[<v 2>effects (interprocedural, per call):@,%a@]@."
       (Format.pp_print_list ~pp_sep:Format.pp_print_cut (fun ppf (fname, eff) ->
@@ -120,14 +175,142 @@ let run file workload seed_unsound no_effects =
   let all =
     Staticcheck.Finding.sort (spec_findings @ residual_findings @ seeded_findings)
   in
-  Format.printf "%a@." Staticcheck.Finding.pp_report all;
+  if json then print_json all
+  else Format.printf "%a@." Staticcheck.Finding.pp_report all;
   if Staticcheck.Finding.has_errors all then exit 1
 
-let () =
-  let doc = "static lint of specialization classes and residual code" in
-  let info = Cmd.info "ickpt_lint" ~version:"1.0.0" ~doc in
-  let term =
-    Term.(
-      const run $ file_arg $ workload_arg $ seed_unsound_arg $ no_effects_arg)
+(* ---- verify --------------------------------------------------------------- *)
+
+let seed_miscompile_arg =
+  let doc =
+    "Additionally verify every single-point mutation of the sea phase's \
+     residual code — each miscompile must be refuted with a concrete \
+     counterexample heap, and the command must fail."
   in
-  exit (Cmd.eval (Cmd.v info term))
+  Arg.(value & flag & info [ "seed-miscompile" ] ~doc)
+
+let max_vars_arg =
+  let doc =
+    "Budget on the symbolic heap family: shapes with more boolean \
+     variables than this are reported unsupported rather than enumerated."
+  in
+  Arg.(value & opt int 16 & info [ "max-vars" ] ~docv:"N" ~doc)
+
+(* A small synthetic-application configuration: the same three knowledge
+   levels as the paper's experiments, sized so the exhaustive valuation
+   enumeration stays instant. *)
+let small_synth_config =
+  { Ickpt_synth.Synth.n_structures = 1;
+    n_lists = 2;
+    list_len = 2;
+    n_int_fields = 2;
+    pct_modified = 100;
+    modified_lists = 1;
+    last_only = true;
+    seed = 42 }
+
+let run_verify file workload seed_miscompile max_vars json =
+  let program = load_program file workload in
+  let (_ : Minic.Check.env) = check_program program in
+  let attrs = Attrs.create ~n_stmts:(max 1 (Minic.Ast.stmt_count program)) in
+  let app = Ickpt_synth.Synth.build small_synth_config in
+  let shapes =
+    [ ("sea", Attrs.sea_shape attrs);
+      ("bta", Attrs.bta_shape attrs);
+      ("eta", Attrs.eta_shape attrs);
+      ("synth-structure", Ickpt_synth.Synth.shape_structure app);
+      ("synth-modified-lists", Ickpt_synth.Synth.shape_modified_lists app);
+      ("synth-last-only", Ickpt_synth.Synth.shape_last_only app) ]
+  in
+  let verified = ref [] in
+  let findings = ref [] in
+  let record name stage verdict =
+    (match verdict with
+    | Staticcheck.Tv.Verified { vars; paths } ->
+        verified := (name, stage, vars, paths) :: !verified
+    | _ -> ());
+    (match Staticcheck.Tv.finding ~phase:(name ^ ":" ^ stage) verdict with
+    | Some f -> findings := f :: !findings
+    | None -> ());
+    if not json then
+      Format.printf "verify: %-24s %-12s %a@." name stage Staticcheck.Tv.pp
+        verdict
+  in
+  List.iter
+    (fun (name, shape) ->
+      List.iter
+        (fun (stage, verdict) -> record name stage verdict)
+        (Staticcheck.Tv.verify_shape ~max_vars shape))
+    shapes;
+  (* Seeded miscompiles: every mutant of the sea residual code must be
+     refuted, each refutation confirmed by replaying its counterexample
+     heap on the real backends. *)
+  if seed_miscompile then begin
+    let shape = Attrs.sea_shape attrs in
+    let result = Jspec.Pe.specialize shape in
+    let rejected = ref 0 and escaped = ref 0 in
+    List.iter
+      (fun (label, mutant) ->
+        match Staticcheck.Tv.verify ~max_vars shape mutant with
+        | Staticcheck.Tv.Refuted { replay; _ } as v ->
+            incr rejected;
+            if not replay.Staticcheck.Equiv.diverged then
+              Printf.eprintf "mutant %s: replay did not confirm!\n" label;
+            record ("mutant:" ^ label) "seeded" v
+        | v ->
+            incr escaped;
+            record ("mutant:" ^ label) "seeded" v;
+            if not json then
+              Format.printf "verify: mutant %s escaped (%a)@." label
+                Staticcheck.Tv.pp v)
+      (Staticcheck.Tv.mutants result);
+    if not json then
+      Format.printf "verify: %d seeded miscompile(s) rejected, %d escaped@."
+        !rejected !escaped
+  end;
+  let findings = Staticcheck.Finding.sort !findings in
+  if json then print_json ~verified:(List.rev !verified) findings
+  else if findings <> [] then
+    Format.printf "%a@." Staticcheck.Finding.pp_report findings;
+  if Staticcheck.Finding.has_errors findings then exit 1
+
+(* ---- command line --------------------------------------------------------- *)
+
+let exits =
+  [ Cmd.Exit.info 0 ~doc:"no error findings; all shapes verified.";
+    Cmd.Exit.info 1
+      ~doc:
+        "error-severity findings: an unsound declaration or refuted \
+         residual code.";
+    Cmd.Exit.info 2 ~doc:"usage error, or the input failed to parse/check." ]
+
+let lint_term =
+  Term.(
+    const run_lint $ file_arg $ workload_arg $ seed_unsound_arg
+    $ no_effects_arg $ json_arg)
+
+let verify_term =
+  Term.(
+    const run_verify $ file_arg $ workload_arg $ seed_miscompile_arg
+    $ max_vars_arg $ json_arg)
+
+let () =
+  let doc = "static lint and translation validation of specialized code" in
+  let info = Cmd.info "ickpt_lint" ~version:"1.0.0" ~doc ~exits in
+  let lint_cmd =
+    Cmd.v
+      (Cmd.info "lint" ~doc:"spec-lint and residual lint (the default)" ~exits)
+      lint_term
+  in
+  let verify_cmd =
+    Cmd.v
+      (Cmd.info "verify"
+         ~doc:
+           "prove residual checkpoint code byte-equivalent to the generic \
+            algorithm"
+         ~exits)
+      verify_term
+  in
+  let code = Cmd.eval (Cmd.group ~default:lint_term info [ lint_cmd; verify_cmd ]) in
+  (* Normalize cmdliner's CLI-error code to the documented usage-error 2. *)
+  exit (if code = Cmd.Exit.cli_error then 2 else code)

@@ -36,6 +36,8 @@ type report = {
 
 exception Preflight_failed of Staticcheck.Spec_lint.diagnostic list
 
+exception Verification_failed of (string * Staticcheck.Tv.verdict) list
+
 (* The pre-flight check: every phase's declared specialization class must
    agree with the statically inferred one. Program-independent (the
    shapes are fixed by the Attrs schema), but cheap enough to run per
@@ -50,6 +52,27 @@ let preflight_diagnostics attrs =
       (Staticcheck.Phase_model.Eta, Attrs.eta_shape attrs) ]
 
 let preflight = preflight_diagnostics
+
+(* Translation-validate each phase's residual code against the generic
+   algorithm, going through the spec cache both for the plan and for the
+   verdict: a shape verified once in this engine run (or shared between
+   phases) is not re-verified. *)
+let verify_phases ~cache attrs =
+  List.filter_map
+    (fun (name, shape) ->
+      let plan = Jspec.Spec_cache.plan cache shape in
+      match Jspec.Spec_cache.cached_verdict cache shape plan.Jspec.Pe.body with
+      | Some true -> None
+      | Some false | None ->
+          (* A cached [false] is re-verified: the failure report needs the
+             full verdict, and failing analyze runs are not the hot path. *)
+          let v = Staticcheck.Tv.verify shape plan in
+          Jspec.Spec_cache.set_verdict cache shape plan.Jspec.Pe.body
+            (Staticcheck.Tv.ok v);
+          if Staticcheck.Tv.ok v then None else Some (name, v))
+    [ ("sea", Attrs.sea_shape attrs);
+      ("bta", Attrs.bta_shape attrs);
+      ("eta", Attrs.eta_shape attrs) ]
 
 let phase_bytes p = List.fold_left (fun acc s -> acc + s.bytes) 0 p.stats
 
@@ -170,15 +193,18 @@ let analyze ?(mode = Incremental) ?division ?(sea_min = 1) ?(bta_min = 1)
           Minic.Gen.static_globals
   in
   let attrs = Attrs.create ~n_stmts:(Minic.Ast.stmt_count program) in
+  let cache = Jspec.Spec_cache.create () in
   if preflight then begin
     let ds = preflight_diagnostics attrs in
-    if Staticcheck.Spec_lint.has_unsound ds then raise (Preflight_failed ds)
+    if Staticcheck.Spec_lint.has_unsound ds then raise (Preflight_failed ds);
+    match verify_phases ~cache attrs with
+    | [] -> ()
+    | failures -> raise (Verification_failed failures)
   end;
   let chain = Chain.create (Attrs.schema attrs) in
   (* Base checkpoint: everything is fresh, so record it all once. *)
   let base = Chain.take_full chain (Attrs.roots attrs) in
   let base_bytes = Segment.body_size base.Chain.segment in
-  let cache = Jspec.Spec_cache.create () in
   let phases =
     [ run_phase ~cache ~name:"sea" ~mode ~measure_traversal ~guard ~chain
         ~attrs ~shape:(Attrs.sea_shape attrs) (fun ~on_iteration ->

@@ -46,6 +46,11 @@ type report = {
 
 exception Preflight_failed of Staticcheck.Spec_lint.diagnostic list
 
+exception Verification_failed of (string * Staticcheck.Tv.verdict) list
+(** A phase's residual checkpoint code failed translation validation
+    (see {!Staticcheck.Tv.verify}); carries the failing phases with
+    their verdicts. *)
+
 val preflight : Attrs.t -> Staticcheck.Spec_lint.diagnostic list
 (** Spec-lint every phase's declared specialization class against the
     statically inferred one (see {!Staticcheck.Infer}). Empty when the
@@ -68,7 +73,11 @@ val analyze :
     {!Jspec.Guard.Violated} on a breach); [preflight = false] (when true,
     the declared specialization classes are spec-linted against the
     static inference before any phase runs, raising {!Preflight_failed}
-    if an unsound declaration is found).
+    if an unsound declaration is found, and every phase's residual
+    checkpoint code is translation-validated against the generic
+    algorithm — through the run's {!Jspec.Spec_cache}, so shared shapes
+    verify once — raising {!Verification_failed} on a refuted or
+    unsupported shape).
 
     The chain in the result can be recovered to verify the checkpointed
     analysis state (see the crash-recovery example). *)

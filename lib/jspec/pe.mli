@@ -13,9 +13,14 @@
     - children declared [Unknown] fall back to a residual call to the
       generic algorithm.
 
-    The residual program is guaranteed (and property-tested) to write the
-    same bytes as the generic algorithm on any heap that conforms to the
-    declared shape. *)
+    The residual program is intended to write the same bytes as the
+    generic algorithm on any heap that conforms to the declared shape.
+    That claim is not taken on faith: it is property-tested on random
+    conforming heaps, and {e proved per specialization} by the
+    translation validator ([Staticcheck.Tv.verify]), which symbolically
+    enumerates the shape's whole heap family and checks byte-trace
+    equivalence — refuting with a concrete counterexample heap when a
+    residual program is wrong. *)
 
 type result = {
   shape : Sclass.shape;  (** the declaration this code was built from *)

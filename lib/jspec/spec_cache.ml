@@ -7,11 +7,17 @@ type entry = {
 
 type t = {
   entries : (string, entry) Hashtbl.t;
+  verdicts : (string, string * bool) Hashtbl.t;
+      (* shape key -> (residual-body digest, verified) *)
   mutable hits : int;
   mutable misses : int;
 }
 
-let create () = { entries = Hashtbl.create 16; hits = 0; misses = 0 }
+let create () =
+  { entries = Hashtbl.create 16;
+    verdicts = Hashtbl.create 16;
+    hits = 0;
+    misses = 0 }
 
 (* Canonical structural key. Class identity uses the class id, which is
    schema-unique; statuses and child kinds are single characters. *)
@@ -56,6 +62,26 @@ let entry t shape =
 let runner t shape = (entry t shape).compiled
 
 let plan t shape = (entry t shape).plan
+
+let body_digest body =
+  Digest.to_hex (Digest.string (Format.asprintf "%a" Cklang.pp_stmts body))
+
+let cached_verdict t shape body =
+  let key = shape_key shape in
+  match Hashtbl.find_opt t.verdicts key with
+  | Some (digest, verified) when digest = body_digest body -> Some verified
+  | Some _ ->
+      (* The residual code for this shape changed (different generic
+         program, different optimization setting): the old verdict says
+         nothing about the new body. *)
+      Hashtbl.remove t.verdicts key;
+      None
+  | None -> None
+
+let set_verdict t shape body verified =
+  Hashtbl.replace t.verdicts (shape_key shape) (body_digest body, verified)
+
+let verdict_count t = Hashtbl.length t.verdicts
 
 let size t = Hashtbl.length t.entries
 

@@ -33,3 +33,26 @@ val misses : t -> int
 val shape_key : Sclass.shape -> string
 (** The canonical structural key (exposed for tests): two shapes get the
     same key iff they are structurally equal. *)
+
+(** {1 Verification verdicts}
+
+    The cache also remembers whether a shape's residual code passed
+    translation validation (see [Staticcheck.Tv]), so repeated engine
+    runs over the same shapes verify once. The cache stores only the
+    boolean outcome keyed by shape and a digest of the residual body —
+    the verifier lives upstream and this module needs no knowledge of
+    it. A verdict is evicted as soon as the body it was computed for
+    changes. *)
+
+val body_digest : Cklang.stmt list -> string
+(** Digest of a residual body's printed form (exposed for tests). *)
+
+val cached_verdict : t -> Sclass.shape -> Cklang.stmt list -> bool option
+(** [Some verified] when a verdict for this exact (shape, body) pair is
+    cached; [None] — evicting any stale entry — when the body changed or
+    no verdict was recorded. *)
+
+val set_verdict : t -> Sclass.shape -> Cklang.stmt list -> bool -> unit
+
+val verdict_count : t -> int
+(** Number of cached verdicts (exposed for tests). *)

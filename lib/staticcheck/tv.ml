@@ -1,0 +1,119 @@
+open Jspec.Cklang
+
+type verdict =
+  | Verified of { vars : int; paths : int }
+  | Refuted of { mismatch : Equiv.mismatch; replay : Equiv.replay }
+  | Unsupported of string
+
+let verify ?program ?max_vars shape (result : Jspec.Pe.result) =
+  match Equiv.check ?program ?max_vars shape result.Jspec.Pe.body with
+  | Equiv.Equivalent { vars; paths } -> Verified { vars; paths }
+  | Equiv.Inconclusive msg -> Unsupported msg
+  | Equiv.Mismatch mismatch ->
+      (* The abstract counterexample must survive contact with real heaps
+         and real backends before we call the artifact miscompiled. *)
+      let replay = Equiv.replay shape result mismatch.Equiv.valuation in
+      Refuted { mismatch; replay }
+
+let verify_shape ?max_vars shape =
+  [ ( "unoptimized",
+      verify ?max_vars shape (Jspec.Pe.specialize ~optimize:false shape) );
+    ("optimized", verify ?max_vars shape (Jspec.Pe.specialize shape)) ]
+
+let ok = function Verified _ -> true | Refuted _ | Unsupported _ -> false
+
+let assignment_string assignment =
+  if assignment = [] then "(no variables)"
+  else
+    String.concat " "
+      (List.map (fun (n, b) -> Printf.sprintf "%s=%b" n b) assignment)
+
+let finding ~phase = function
+  | Verified _ -> None
+  | Refuted { mismatch; _ } ->
+      Some
+        { Finding.severity = Finding.Error;
+          scope = "verify:" ^ phase;
+          path = assignment_string mismatch.Equiv.assignment;
+          reason =
+            "residual checkpoint code is not byte-equivalent to the generic \
+             algorithm" }
+  | Unsupported msg ->
+      Some
+        { Finding.severity = Finding.Warning;
+          scope = "verify:" ^ phase;
+          path = "(shape)";
+          reason = "translation validation inconclusive: " ^ msg }
+
+let pp ppf = function
+  | Verified { vars; paths } ->
+      Format.fprintf ppf
+        "verified: byte-equivalent to the generic algorithm on all %d \
+         symbolic heap(s) (%d variable(s))"
+        paths vars
+  | Refuted { mismatch; replay } ->
+      Format.fprintf ppf "@[<v>refuted:@,%a@,%a@]" Equiv.pp_mismatch mismatch
+        Equiv.pp_replay replay
+  | Unsupported msg -> Format.fprintf ppf "unsupported: %s" msg
+
+(* ---- seeded-miscompile harness ---- *)
+
+(* Single-point mutations of residual code, labeled by position. Each
+   label is a path of block indices from the root ("2.t.0.clobber" =
+   inside statement 2, then-branch, statement 0). *)
+let rec list_mutants pfx stmts =
+  let arr = Array.of_list stmts in
+  let n = Array.length arr in
+  let drops =
+    List.init n (fun i ->
+        ( Printf.sprintf "%sdrop@%d" pfx i,
+          List.filteri (fun j _ -> j <> i) stmts ))
+  in
+  let swaps =
+    List.concat
+      (List.init (max 0 (n - 1)) (fun i ->
+           match (arr.(i), arr.(i + 1)) with
+           | Write _, Write _ ->
+               [ ( Printf.sprintf "%sswap@%d" pfx i,
+                   List.init n (fun j ->
+                       if j = i then arr.(i + 1)
+                       else if j = i + 1 then arr.(i)
+                       else arr.(j)) ) ]
+           | _ -> []))
+  in
+  let inner =
+    List.concat
+      (List.init n (fun i ->
+           List.map
+             (fun (l, s') ->
+               (l, List.init n (fun j -> if j = i then s' else arr.(j))))
+             (stmt_mutants (Printf.sprintf "%s%d." pfx i) arr.(i))))
+  in
+  drops @ swaps @ inner
+
+and stmt_mutants pfx s =
+  match s with
+  | Write _ -> [ (pfx ^ "clobber", Write (Const 4242)) ]
+  | If (c, t, f) ->
+      ((pfx ^ "flip", If (Not c, t, f))
+      :: List.map (fun (l, t') -> (l, If (c, t', f))) (list_mutants (pfx ^ "t.") t))
+      @ List.map (fun (l, f') -> (l, If (c, t, f'))) (list_mutants (pfx ^ "f.") f)
+  | Let (v, e, body) ->
+      List.map (fun (l, b') -> (l, Let (v, e, b'))) (list_mutants (pfx ^ "b.") body)
+  | For (v, lo, hi, body) ->
+      List.map
+        (fun (l, b') -> (l, For (v, lo, hi, b')))
+        (list_mutants (pfx ^ "b.") body)
+  | Reset_modified _ | Invoke_virtual _ | Call _ | Call_generic _ -> []
+
+let mutants (result : Jspec.Pe.result) =
+  let seen = Hashtbl.create 64 in
+  Hashtbl.add seen result.Jspec.Pe.body ();
+  List.filter_map
+    (fun (label, body) ->
+      if Hashtbl.mem seen body then None
+      else begin
+        Hashtbl.add seen body ();
+        Some (label, { result with Jspec.Pe.body })
+      end)
+    (list_mutants "" result.Jspec.Pe.body)

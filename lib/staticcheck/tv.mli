@@ -1,0 +1,61 @@
+(** Translation validation of the partial evaluator.
+
+    [Jspec.Pe] claims its residual code writes exactly the bytes of the
+    generic incremental algorithm on every heap conforming to the
+    specialization class it was built from. This module {e proves} that
+    claim per specialization — the trust-shift from "the compiler is
+    correct" to "this compiled artifact is correct": {!verify} decides
+    byte-trace equivalence over the shape's whole symbolic heap family
+    ({!Equiv}), and a refutation comes with a concrete counterexample
+    heap whose replay on the real execution backends reproduces the
+    divergence.
+
+    The {!mutants} harness seeds representative miscompiles (dropped
+    statements, flipped [modified] tests, swapped emit order, clobbered
+    write values) into residual code so tests — and [ickpt_lint verify
+    --seed-miscompile] — can demonstrate that the verifier actually
+    rejects broken residual code, not merely accept correct code. *)
+
+type verdict =
+  | Verified of { vars : int; paths : int }
+      (** equivalence proven on all [2^vars] symbolic heaps *)
+  | Refuted of { mismatch : Equiv.mismatch; replay : Equiv.replay }
+      (** diverges; counterexample materialized and replayed *)
+  | Unsupported of string
+      (** outside the symbolic domain or over the path budget *)
+
+val verify :
+  ?program:Jspec.Cklang.program ->
+  ?max_vars:int ->
+  Jspec.Sclass.shape -> Jspec.Pe.result -> verdict
+(** Validate [result]'s residual body against the generic [program]
+    (default {!Jspec.Generic_method.program}) over [shape]'s heap
+    family. The shape is passed explicitly so a residual program can be
+    checked against the declaration it is {e about} to be trusted for,
+    whatever [result.shape] claims. *)
+
+val verify_shape :
+  ?max_vars:int -> Jspec.Sclass.shape -> (string * verdict) list
+(** Specialize the shape fresh and verify both the raw residual code
+    ([~optimize:false]) and the {!Jspec.Plan_opt}-cleaned code:
+    [[("unoptimized", v1); ("optimized", v2)]]. The cleanup pass must
+    preserve the verdict. *)
+
+val ok : verdict -> bool
+(** [true] only for [Verified]. *)
+
+val finding : phase:string -> verdict -> Finding.t option
+(** [None] when verified; a [verify:<phase>]-scoped [Error] for a
+    refutation, [Warning] for an unsupported shape. *)
+
+val pp : Format.formatter -> verdict -> unit
+
+(** {1 Seeded-miscompile harness} *)
+
+val mutants : Jspec.Pe.result -> (string * Jspec.Pe.result) list
+(** All single-point mutations of the residual body, labeled by kind and
+    position: dropped statements, flipped branch tests, swapped adjacent
+    writes, clobbered write values. Structurally-identical results are
+    deduplicated; some mutants may still be semantically equivalent (e.g.
+    a dropped statement in dead code) — the verifier, not the harness,
+    decides which ones diverge. *)
