@@ -57,9 +57,61 @@ let micro_cmd =
   let doc = "run the Bechamel micro-benchmarks" in
   Cmd.v (Cmd.info "micro" ~doc) Term.(const micro $ const ())
 
+let crash_cmd =
+  let open Ickpt_faultsim in
+  let rounds_arg =
+    let doc = "Mutate-and-checkpoint rounds after the base checkpoint." in
+    Arg.(value & opt int 5 & info [ "rounds" ] ~docv:"N" ~doc)
+  in
+  let density_arg =
+    let doc =
+      "Interior byte offsets injected per write op (0 = only the \
+       boundaries 0, 1, len-1, len)."
+    in
+    Arg.(value & opt int 2 & info [ "density" ] ~docv:"N" ~doc)
+  in
+  let configs_arg =
+    let doc =
+      "Config labels to sweep (substring match; default: all 18)."
+    in
+    Arg.(value & pos_all string [] & info [] ~docv:"CONFIG" ~doc)
+  in
+  let crash rounds density labels =
+    let contains hay needle =
+      let nl = String.length needle and hl = String.length hay in
+      let rec go i =
+        i + nl <= hl && (String.sub hay i nl = needle || go (i + 1))
+      in
+      nl = 0 || go 0
+    in
+    let configs =
+      match labels with
+      | [] -> Crash_sim.default_configs
+      | ls ->
+          List.filter
+            (fun c ->
+              List.exists (fun l -> contains c.Crash_sim.label l) ls)
+            Crash_sim.default_configs
+    in
+    if configs = [] then `Error (false, "no config matches")
+    else begin
+      let reports = Crash_sim.run_all ~rounds ~density ~configs () in
+      Crash_sim.pp_summary Format.std_formatter reports;
+      if List.for_all Crash_sim.ok reports then `Ok ()
+      else `Error (false, "crash-consistency violations found")
+    end
+  in
+  let doc =
+    "sweep simulated power-loss points over checkpointing workloads and \
+     verify recovery is always prefix-consistent"
+  in
+  Cmd.v
+    (Cmd.info "crash" ~doc)
+    Term.(ret (const crash $ rounds_arg $ density_arg $ configs_arg))
+
 let () =
   let doc =
     "benchmark harness for the incremental-checkpointing reproduction"
   in
   let info = Cmd.info "ickpt_bench" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; list_cmd; micro_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ run_cmd; list_cmd; micro_cmd; crash_cmd ]))

@@ -10,7 +10,7 @@ type t = {
   mutable state : state;
   mutable in_flight : bool;  (* a segment is being written right now *)
   mutable thread : Thread.t option;
-  oc : out_channel;
+  w : Vfs.writer;
 }
 
 let locked t f =
@@ -21,28 +21,35 @@ let writer_loop t =
   let rec next () =
     Mutex.lock t.mutex;
     let rec wait () =
-      if Queue.is_empty t.queue then
-        match t.state with
-        | Closed | Failed _ ->
-            Mutex.unlock t.mutex;
-            None
-        | Running ->
-            Condition.wait t.not_empty t.mutex;
-            wait ()
-      else begin
-        let seg = Queue.pop t.queue in
-        t.in_flight <- true;
-        Condition.broadcast t.not_full;
-        Mutex.unlock t.mutex;
-        Some seg
-      end
+      match t.state with
+      | Failed _ ->
+          (* Never drain into a broken sink: queued segments written after a
+             failure would each fail in turn (and on a half-dead device could
+             even land as garbage past the failure point). They are dropped;
+             the enqueuer learns of the loss from the Failed state. *)
+          Mutex.unlock t.mutex;
+          None
+      | (Running | Closed) when not (Queue.is_empty t.queue) ->
+          let seg = Queue.pop t.queue in
+          t.in_flight <- true;
+          Condition.broadcast t.not_full;
+          Mutex.unlock t.mutex;
+          Some seg
+      | Closed ->
+          Mutex.unlock t.mutex;
+          None
+      | Running ->
+          Condition.wait t.not_empty t.mutex;
+          wait ()
     in
     match wait () with
     | None -> ()
     | Some seg ->
-        (match output_string t.oc (Segment.encode seg) with
+        (match
+           t.w.Vfs.write (Segment.encode seg);
+           t.w.Vfs.sync ()
+         with
         | () ->
-            flush t.oc;
             locked t (fun () ->
                 t.in_flight <- false;
                 Condition.broadcast t.drained)
@@ -56,9 +63,9 @@ let writer_loop t =
   in
   next ()
 
-let create ?(queue_limit = 64) ~path () =
+let create ?(vfs = Vfs.real) ?(queue_limit = 64) ~path () =
   if queue_limit < 1 then invalid_arg "Async_writer.create: queue_limit < 1";
-  let oc = open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path in
+  let w = vfs.Vfs.open_append path in
   let t =
     { mutex = Mutex.create ();
       not_empty = Condition.create ();
@@ -69,7 +76,7 @@ let create ?(queue_limit = 64) ~path () =
       state = Running;
       in_flight = false;
       thread = None;
-      oc }
+      w }
   in
   t.thread <- Some (Thread.create writer_loop t);
   t
@@ -109,7 +116,6 @@ let close t =
         match t.state with
         | Closed -> None
         | Running | Failed _ ->
-            (* Let the thread drain the queue, then exit. *)
             (match t.state with Running -> t.state <- Closed | _ -> ());
             Condition.broadcast t.not_empty;
             Condition.broadcast t.not_full;
@@ -118,8 +124,9 @@ let close t =
   match join with
   | None -> ()
   | Some thread ->
-      (* The writer drains remaining segments before observing Closed:
-         writer_loop only exits on an empty queue. *)
+      (* On Closed the writer drains remaining segments before exiting; on
+         Failed it exits immediately without touching the sink, so closing
+         a failed writer never blocks on an undrainable queue. *)
       Thread.join thread;
       locked t (fun () -> t.thread <- None);
-      close_out_noerr t.oc
+      t.w.Vfs.close ()

@@ -8,13 +8,18 @@
 
     Ordering is preserved (the queue is FIFO); durability points are
     explicit ({!flush} blocks until everything enqueued so far has reached
-    the file). If the writer thread fails (e.g. disk error), the error
-    surfaces at the next {!enqueue}, {!flush} or {!close}. *)
+    the file; each segment is additionally synced as it is written). If the
+    writer thread fails (e.g. disk error), the error surfaces at the next
+    {!enqueue} or {!flush}; segments still queued at that point are
+    {e dropped}, never written after the failure — writing past a failed
+    write could interleave garbage into the log. {!close} on a failed
+    writer returns promptly instead of waiting for an impossible drain. *)
 
 type t
 
-val create : ?queue_limit:int -> path:string -> unit -> t
-(** Start a writer appending to [path] (created if missing).
+val create : ?vfs:Vfs.t -> ?queue_limit:int -> path:string -> unit -> t
+(** Start a writer appending to [path] (created if missing) through [vfs]
+    (default {!Vfs.real}).
     [queue_limit] (default 64) bounds the number of in-flight segments;
     {!enqueue} blocks when the queue is full — back-pressure instead of
     unbounded memory. *)
@@ -30,4 +35,6 @@ val pending : t -> int
 (** Segments queued but not yet written. *)
 
 val close : t -> unit
-(** Flush, stop the thread, close the file. Idempotent. *)
+(** Flush, stop the thread, close the file. Idempotent. On a [Failed]
+    writer this drops whatever is still queued and returns without
+    attempting further writes. *)

@@ -6,6 +6,7 @@ type sink = Sync | Async of Async_writer.t
 type t = {
   schema : Schema.t;
   path : string;
+  vfs : Vfs.t;
   policy : Policy.t;
   compact_above : int;
   chain : Chain.t;
@@ -13,13 +14,20 @@ type t = {
   mutable closed : bool;
 }
 
-let create ?(policy = Policy.Incremental_after_base) ?(async = false)
-    ?(compact_above = 0) schema ~path =
-  let chain, _torn = Storage.load_chain schema ~path in
+let create ?(vfs = Vfs.real) ?(policy = Policy.Incremental_after_base)
+    ?(async = false) ?(compact_above = 0) schema ~path =
+  let { Storage.segments; torn_tail; bytes_read } = Storage.load ~vfs path in
+  (* A torn tail means garbage bytes follow the intact prefix. Cut them off
+     before the first append: appending after the garbage would make every
+     subsequent segment unreachable on reload (the loader stops at the first
+     undecodable byte and cannot resync). *)
+  if torn_tail then vfs.Vfs.truncate path ~len:bytes_read;
+  let chain = Chain.create schema in
+  List.iter (Chain.append chain) segments;
   let sink =
-    if async then Async (Async_writer.create ~path ()) else Sync
+    if async then Async (Async_writer.create ~vfs ~path ()) else Sync
   in
-  { schema; path; policy; compact_above; chain; sink; closed = false }
+  { schema; path; vfs; policy; compact_above; chain; sink; closed = false }
 
 let chain t = t.chain
 
@@ -27,7 +35,7 @@ let segments_on_disk t = Chain.length t.chain
 
 let persist t seg =
   match t.sink with
-  | Sync -> Storage.append ~path:t.path seg
+  | Sync -> Storage.append ~vfs:t.vfs ~path:t.path seg
   | Async w -> Async_writer.enqueue w seg
 
 let flush t =
@@ -41,10 +49,10 @@ let compact_now t =
   (match t.sink with
   | Sync -> ()
   | Async w -> Async_writer.close w);
-  Storage.write_chain ~path:t.path t.chain;
+  Storage.write_chain ~vfs:t.vfs ~path:t.path t.chain;
   match t.sink with
   | Sync -> ()
-  | Async _ -> t.sink <- Async (Async_writer.create ~path:t.path ())
+  | Async _ -> t.sink <- Async (Async_writer.create ~vfs:t.vfs ~path:t.path ())
 
 let maybe_compact t =
   if t.compact_above > 0 && Chain.length t.chain > t.compact_above then
@@ -90,6 +98,6 @@ let close t =
     match t.sink with Sync -> () | Async w -> Async_writer.close w
   end
 
-let recover_latest schema ~path =
-  let chain, _torn = Storage.load_chain schema ~path in
+let recover_latest ?vfs schema ~path =
+  let chain, _torn = Storage.load_chain ?vfs schema ~path in
   Chain.recover chain

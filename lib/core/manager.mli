@@ -18,13 +18,15 @@ open Ickpt_runtime
 type t
 
 val create :
-  ?policy:Policy.t -> ?async:bool -> ?compact_above:int ->
+  ?vfs:Vfs.t -> ?policy:Policy.t -> ?async:bool -> ?compact_above:int ->
   Schema.t -> path:string -> t
-(** Defaults: [policy = Incremental_after_base], [async = false] (each
-    checkpoint is on disk when [checkpoint] returns), [compact_above = 0]
-    meaning never auto-compact; a positive value compacts the on-disk chain
-    whenever it exceeds that many segments. If [path] already holds a valid
-    chain prefix, the manager resumes its sequence numbering from it. *)
+(** Defaults: [vfs = Vfs.real], [policy = Incremental_after_base],
+    [async = false] (each checkpoint is on disk when [checkpoint] returns),
+    [compact_above = 0] meaning never auto-compact; a positive value
+    compacts the on-disk chain whenever it exceeds that many segments. If
+    [path] already holds a valid chain prefix, the manager resumes its
+    sequence numbering from it; a torn tail left by a crash is truncated
+    away before the first new append, so the resumed log stays readable. *)
 
 val checkpoint : t -> Model.obj list -> Chain.taken
 (** Take a checkpoint of the roots using the policy-selected kind and
@@ -51,5 +53,5 @@ val compact_now : t -> unit
 val close : t -> unit
 
 val recover_latest :
-  Schema.t -> path:string -> (Heap.t * Model.obj list, string) result
+  ?vfs:Vfs.t -> Schema.t -> path:string -> (Heap.t * Model.obj list, string) result
 (** Static recovery entry point: load the log's intact prefix and recover. *)

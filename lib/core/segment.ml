@@ -52,11 +52,17 @@ let decode s ~pos =
   let kind = kind_of_byte (In_stream.read_byte inp) in
   let seq = In_stream.read_int inp in
   let nroots = In_stream.read_int inp in
-  if nroots < 0 then raise (In_stream.Corrupt "negative root count");
+  (* Each root id is at least one byte, so a count beyond the remaining
+     bytes is hostile; checking here keeps List.init small on such input. *)
+  if nroots < 0 || nroots > In_stream.remaining inp then
+    raise (In_stream.Corrupt (Printf.sprintf "bad root count %d" nroots));
   let roots = List.init nroots (fun _ -> In_stream.read_int inp) in
   let body_len = In_stream.read_int inp in
   if body_len < 0 then raise (In_stream.Corrupt "negative body length");
-  if In_stream.remaining inp < body_len + 4 then
+  (* Compare with the addition on the [remaining] side: [body_len + 4] can
+     overflow to negative on a hostile varint, which used to slip past this
+     check and crash String.sub with Invalid_argument instead of Corrupt. *)
+  if In_stream.remaining inp - 4 < body_len then
     raise (In_stream.Corrupt "truncated segment body");
   let body_start = In_stream.pos inp in
   let body = String.sub s body_start body_len in

@@ -4,31 +4,34 @@ type load_result = {
   bytes_read : int;
 }
 
-let append ~path seg =
-  let oc =
-    open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path
-  in
+let append ?(vfs = Vfs.real) ~path seg =
+  let w = vfs.Vfs.open_append path in
   Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (Segment.encode seg))
+    ~finally:(fun () -> w.Vfs.close ())
+    (fun () ->
+      w.Vfs.write (Segment.encode seg);
+      w.Vfs.sync ())
 
-let write_chain ~path chain =
-  let oc = open_out_bin path in
+let temp_of ~path = path ^ ".tmp"
+
+let write_chain ?(vfs = Vfs.real) ~path chain =
+  (* Write to a sibling temp file and atomically rename it over the log:
+     an interrupted rewrite must never leave a half-written log in place
+     of the old one (it used to — in-place truncate + rewrite lost the
+     whole chain if crashed mid-way). *)
+  let tmp = temp_of ~path in
+  let w = vfs.Vfs.open_trunc tmp in
   Fun.protect
-    ~finally:(fun () -> close_out oc)
+    ~finally:(fun () -> w.Vfs.close ())
     (fun () ->
       List.iter
-        (fun seg -> output_string oc (Segment.encode seg))
-        (Chain.segments chain))
+        (fun seg -> w.Vfs.write (Segment.encode seg))
+        (Chain.segments chain);
+      w.Vfs.sync ());
+  vfs.Vfs.rename ~src:tmp ~dst:path
 
-let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
-
-let load ~path =
-  let data = if Sys.file_exists path then read_file path else "" in
+let load ?(vfs = Vfs.real) path =
+  let data = if vfs.Vfs.exists path then vfs.Vfs.read_file path else "" in
   let rec go acc pos =
     if pos >= String.length data then
       { segments = List.rev acc; torn_tail = false; bytes_read = pos }
@@ -40,8 +43,8 @@ let load ~path =
   in
   go [] 0
 
-let load_chain schema ~path =
-  let { segments; torn_tail; _ } = load ~path in
+let load_chain ?vfs schema ~path =
+  let { segments; torn_tail; _ } = load ?vfs path in
   let chain = Chain.create schema in
   List.iter (Chain.append chain) segments;
   (chain, torn_tail)

@@ -2,27 +2,39 @@
     segments. The paper writes checkpoints "from the output stream to stable
     storage asynchronously"; here the construction cost (what the paper
     measures) is separated from the write-out, and recovery tolerates a torn
-    final segment — the normal outcome of a crash mid-write. *)
+    final segment — the normal outcome of a crash mid-write.
+
+    All file access goes through a {!Vfs.t} (default {!Vfs.real}), so the
+    crash-consistency harness can substitute a fault-injecting backend. *)
 
 type load_result = {
   segments : Segment.t list;  (** oldest first, every fully intact segment *)
   torn_tail : bool;  (** true when trailing bytes failed to decode *)
-  bytes_read : int;
+  bytes_read : int;  (** offset of the first undecodable byte (= file size
+                         when not torn): the safe truncation point *)
 }
 
-val append : path:string -> Segment.t -> unit
-(** Append one encoded segment to the log, creating the file if needed. *)
+val append : ?vfs:Vfs.t -> path:string -> Segment.t -> unit
+(** Append one encoded segment to the log, creating the file if needed,
+    and sync it — the segment is durable when this returns. *)
 
-val write_chain : path:string -> Chain.t -> unit
-(** Truncate and write out every segment of the chain. *)
+val temp_of : path:string -> string
+(** The sibling temp path {!write_chain} stages its rewrite in. Exposed so
+    tooling can ignore/clean it; never contains committed data. *)
 
-val load : path:string -> load_result
+val write_chain : ?vfs:Vfs.t -> path:string -> Chain.t -> unit
+(** Replace the log with every segment of the chain, {e atomically}: the
+    new contents are staged in {!temp_of}[ ~path], synced, and renamed over
+    [path]. A crash at any point leaves either the complete old log or the
+    complete new one, never a torn mix. *)
+
+val load : ?vfs:Vfs.t -> string -> load_result
 (** Read back every decodable segment. A corrupt or truncated tail sets
     [torn_tail] instead of raising; corruption {e before} the tail also
     stops the scan there (later segments are unreachable without framing
     resync, which we deliberately do not attempt). *)
 
-val load_chain : Ickpt_runtime.Schema.t -> path:string -> Chain.t * bool
+val load_chain : ?vfs:Vfs.t -> Ickpt_runtime.Schema.t -> path:string -> Chain.t * bool
 (** Rebuild a {!Chain.t} from the intact prefix of the log. Incremental
     segments that precede the first full segment (possible when the log
     was pruned externally) are rejected as {!Chain.Invalid}. Returns the

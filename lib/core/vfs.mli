@@ -1,0 +1,35 @@
+(** The storage layer's view of the filesystem, as a value.
+
+    Everything {!Storage}, {!Async_writer} and {!Manager} do to stable
+    storage goes through one of these records, so a test harness can swap
+    the real filesystem for a simulated one that injects crashes and I/O
+    errors at any write boundary (see [Ickpt_faultsim.Sim]). The default
+    everywhere is {!real}, so existing callers are unaffected.
+
+    The durability contract the storage layer relies on:
+    - [writer.write] appends bytes to the open file (visible to subsequent
+      reads, but not necessarily durable across a power loss);
+    - [writer.sync] is the durability point: everything written so far
+      survives a crash once it returns;
+    - [rename] atomically replaces the destination — after a crash the
+      destination holds either the old or the new content, never a mix. *)
+
+type writer = {
+  write : string -> unit;  (** append bytes at the end of the file *)
+  sync : unit -> unit;  (** flush and fsync: the durability barrier *)
+  close : unit -> unit;  (** release the handle; must not raise *)
+}
+
+type t = {
+  exists : string -> bool;
+  read_file : string -> string;  (** whole contents; raises if missing *)
+  open_append : string -> writer;  (** append mode, create if missing *)
+  open_trunc : string -> writer;  (** truncate-or-create *)
+  truncate : string -> len:int -> unit;  (** cut the file to [len] bytes *)
+  rename : src:string -> dst:string -> unit;  (** atomic replace *)
+  remove : string -> unit;
+}
+
+val real : t
+(** The actual filesystem. [sync] flushes the channel and [fsync]s the
+    descriptor; [rename] is POSIX [rename(2)] (atomic on one filesystem). *)

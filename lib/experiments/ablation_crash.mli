@@ -1,0 +1,8 @@
+(** See the implementation header for the experiment this reproduces. *)
+
+val name : string
+
+val title : string
+
+val run :
+  scale:Workload.scale -> Format.formatter -> Workload.check list

@@ -17,7 +17,10 @@ let all =
       run = Ablation_recovery.run };
     { name = Ablation_guard.name;
       title = Ablation_guard.title;
-      run = Ablation_guard.run } ]
+      run = Ablation_guard.run };
+    { name = Ablation_crash.name;
+      title = Ablation_crash.title;
+      run = Ablation_crash.run } ]
 
 let find name = List.find_opt (fun e -> e.name = name) all
 

@@ -348,7 +348,7 @@ let storage_append_accumulates () =
   if Sys.file_exists path then Sys.remove path;
   Storage.append ~path t1.Chain.segment;
   Storage.append ~path t2.Chain.segment;
-  let { Storage.segments; torn_tail; _ } = Storage.load ~path in
+  let { Storage.segments; torn_tail; _ } = Storage.load path in
   check_bool "not torn" false torn_tail;
   check_int "two segments" 2 (List.length segments);
   Sys.remove path
@@ -370,7 +370,7 @@ let storage_torn_tail () =
   let oc = open_out_bin path in
   output_string oc (String.sub data 0 (String.length data - 3));
   close_out oc;
-  let { Storage.segments; torn_tail; _ } = Storage.load ~path in
+  let { Storage.segments; torn_tail; _ } = Storage.load path in
   check_bool "torn detected" true torn_tail;
   check_int "intact prefix survives" 1 (List.length segments);
   (* The surviving prefix is still recoverable. *)
@@ -382,7 +382,7 @@ let storage_torn_tail () =
 
 let storage_missing_file () =
   let { Storage.segments; torn_tail; bytes_read } =
-    Storage.load ~path:(temp_path "ickpt_never_written.log")
+    Storage.load (temp_path "ickpt_never_written.log")
   in
   check_bool "no segments" true (segments = []);
   check_bool "not torn" false torn_tail;

@@ -31,7 +31,7 @@ let async_roundtrip () =
   Async_writer.flush w;
   check_int "flushed" 0 (Async_writer.pending w);
   Async_writer.close w;
-  let { Storage.segments; torn_tail; _ } = Storage.load ~path in
+  let { Storage.segments; torn_tail; _ } = Storage.load path in
   check_bool "not torn" false torn_tail;
   check_int "all segments" 10 (List.length segments);
   (* FIFO order preserved *)
@@ -46,7 +46,7 @@ let async_close_drains () =
   done;
   (* No flush: close must still drain everything. *)
   Async_writer.close w;
-  check_int "all written" 20 (List.length (Storage.load ~path).Storage.segments);
+  check_int "all written" 20 (List.length (Storage.load path).Storage.segments);
   Sys.remove path
 
 let async_use_after_close () =
