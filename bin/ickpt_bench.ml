@@ -109,9 +109,75 @@ let crash_cmd =
     (Cmd.info "crash" ~doc)
     Term.(ret (const crash $ rounds_arg $ density_arg $ configs_arg))
 
+let barrier_cmd =
+  let files_arg =
+    let doc =
+      "Mini-C workloads to ablate (default: the built-in image and small \
+       generator programs)."
+    in
+    Arg.(value & pos_all file [] & info [] ~docv:"FILE" ~doc)
+  in
+  let out_arg =
+    let doc = "Write the rows as JSON (the BENCH_4.json document) to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "o"; "json" ] ~docv:"PATH" ~doc)
+  in
+  let repeats_arg =
+    let doc = "Engine runs per configuration; per-phase minima are kept." in
+    Arg.(value & opt int 3 & info [ "repeats" ] ~docv:"N" ~doc)
+  in
+  let barrier files out repeats =
+    let load path =
+      let ic = open_in_bin path in
+      let src =
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      match Minic.Parser.parse src with
+      | program -> (Filename.remove_extension (Filename.basename path), program)
+      | exception Minic.Parser.Parse_error { line; message } ->
+          Printf.eprintf "%s:%d: %s\n" path line message;
+          exit 2
+      | exception Minic.Lexer.Lex_error { line; col; message } ->
+          Printf.eprintf "%s:%d:%d: %s\n" path line col message;
+          exit 2
+    in
+    let workloads =
+      match files with
+      | [] ->
+          [ ("image", Minic.Gen.image_program ());
+            ("small", Minic.Gen.small_program ()) ]
+      | fs -> List.map load fs
+    in
+    let rows = Ablation_barrier.measure ~repeats workloads in
+    let ppf = Format.std_formatter in
+    Ablation_barrier.pp_table ppf rows;
+    let checks = Ablation_barrier.checks rows in
+    Workload.pp_checks ppf checks;
+    (match out with
+    | None -> ()
+    | Some path ->
+        let oc = open_out_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () -> output_string oc (Ablation_barrier.json rows));
+        Format.fprintf ppf "wrote %s@." path);
+    if Workload.all_ok checks then `Ok ()
+    else `Error (false, "barrier-ablation checks failed")
+  in
+  let doc =
+    "measure per-phase checkpoint overhead with and without static \
+     write-barrier elision"
+  in
+  Cmd.v
+    (Cmd.info "barrier" ~doc)
+    Term.(ret (const barrier $ files_arg $ out_arg $ repeats_arg))
+
 let () =
   let doc =
     "benchmark harness for the incremental-checkpointing reproduction"
   in
   let info = Cmd.info "ickpt_bench" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; list_cmd; micro_cmd; crash_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info [ run_cmd; list_cmd; micro_cmd; crash_cmd; barrier_cmd ]))

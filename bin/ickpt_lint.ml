@@ -1,6 +1,6 @@
 (* Static verification of specialization classes and residual code.
 
-   Two subcommands, both running before any heap exists:
+   Three subcommands, all running before any heap exists:
 
    - [lint] (the default): effect inference over the workload program,
      spec-lint of the three shipped phase declarations against the
@@ -13,11 +13,17 @@
      checkpoint code writes byte-for-byte what the generic incremental
      algorithm writes, on every conforming heap, before and after the
      cleanup pass. [--seed-miscompile] mutates the residual code first
-     and demonstrates the refutations.
+     and demonstrates the refutations;
+   - [elide]: the static write-barrier elision plans — which attribute
+     sites each phase provably never writes (barrier + flag maintenance
+     compiled out) and how much of the runtime guard is discharged.
+     [--oracle] re-verifies the plans dynamically (byte identity and
+     invariant I8); [--seed-unsound] demonstrates the refusal on a wrong
+     declaration.
 
-   Exit codes (both subcommands): 0 — clean; 1 — error-severity
-   findings (unsound declaration, refuted residual code); 2 — usage or
-   input error. *)
+   Exit codes (uniform across all subcommands): 0 — clean; 1 —
+   error-severity findings (unsound declaration, refuted residual code,
+   unsound elision or a failed oracle); 2 — usage or input error. *)
 
 open Cmdliner
 open Ickpt_analysis
@@ -274,6 +280,74 @@ let run_verify file workload seed_miscompile max_vars json =
     Format.printf "%a@." Staticcheck.Finding.pp_report findings;
   if Staticcheck.Finding.has_errors findings then exit 1
 
+(* ---- elide ---------------------------------------------------------------- *)
+
+let elide_seed_unsound_arg =
+  let doc =
+    "Additionally plan elision for a deliberately wrong declaration (the \
+     bta shape declared for the sea phase) — the written site must keep \
+     its barrier, an error finding must be reported, and the command must \
+     fail."
+  in
+  Arg.(value & flag & info [ "seed-unsound" ] ~doc)
+
+let oracle_arg =
+  let doc =
+    "Also run the differential soundness oracle on the workload: \
+     instrumented vs elided runs must produce byte-identical checkpoint \
+     chains, and every dynamically dirty cell must lie inside the static \
+     may-write region (invariant I8)."
+  in
+  Arg.(value & flag & info [ "oracle" ] ~doc)
+
+let run_elide file workload seed_unsound oracle json =
+  let program = load_program file workload in
+  let (_ : Minic.Check.env) = check_program program in
+  let attrs = Attrs.create ~n_stmts:(max 1 (Minic.Ast.stmt_count program)) in
+  let plans =
+    List.map
+      (fun (phase, declared) -> Staticcheck.Barrier_elide.plan ~declared phase)
+      (phase_shapes attrs)
+  in
+  let seeded =
+    if not seed_unsound then []
+    else
+      [ Staticcheck.Barrier_elide.plan
+          ~declared:(Attrs.bta_shape attrs)
+          Staticcheck.Phase_model.Sea ]
+  in
+  let findings =
+    Staticcheck.Finding.sort
+      (List.concat_map
+         (fun (p : Staticcheck.Barrier_elide.plan) -> p.findings)
+         (plans @ seeded))
+  in
+  if not json then begin
+    List.iter
+      (fun p -> Format.printf "%a@." Staticcheck.Barrier_elide.pp p)
+      plans;
+    if seeded <> [] then
+      List.iter
+        (fun p ->
+          Format.printf "seeded (bta declared for sea):@.%a@."
+            Staticcheck.Barrier_elide.pp p)
+        seeded
+  end;
+  let oracle_failed = ref false in
+  if oracle then begin
+    let name =
+      match file with
+      | Some path -> Filename.basename path
+      | None -> ( match workload with `Image -> "image" | `Small -> "small")
+    in
+    let o = Elide_oracle.run ~name program in
+    if not json then Format.printf "%a@." Elide_oracle.pp o;
+    if not (Elide_oracle.ok o) then oracle_failed := true
+  end;
+  if json then print_json findings
+  else Format.printf "%a@." Staticcheck.Finding.pp_report findings;
+  if Staticcheck.Finding.has_errors findings || !oracle_failed then exit 1
+
 (* ---- command line --------------------------------------------------------- *)
 
 let exits =
@@ -294,6 +368,11 @@ let verify_term =
     const run_verify $ file_arg $ workload_arg $ seed_miscompile_arg
     $ max_vars_arg $ json_arg)
 
+let elide_term =
+  Term.(
+    const run_elide $ file_arg $ workload_arg $ elide_seed_unsound_arg
+    $ oracle_arg $ json_arg)
+
 let () =
   let doc = "static lint and translation validation of specialized code" in
   let info = Cmd.info "ickpt_lint" ~version:"1.0.0" ~doc ~exits in
@@ -311,6 +390,17 @@ let () =
          ~exits)
       verify_term
   in
-  let code = Cmd.eval (Cmd.group ~default:lint_term info [ lint_cmd; verify_cmd ]) in
+  let elide_cmd =
+    Cmd.v
+      (Cmd.info "elide"
+         ~doc:
+           "plan static write-barrier elision per phase (and optionally \
+            verify it with the differential oracle)"
+         ~exits)
+      elide_term
+  in
+  let code =
+    Cmd.eval (Cmd.group ~default:lint_term info [ lint_cmd; verify_cmd; elide_cmd ])
+  in
   (* Normalize cmdliner's CLI-error code to the documented usage-error 2. *)
   exit (if code = Cmd.Exit.cli_error then 2 else code)

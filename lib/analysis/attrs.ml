@@ -1,5 +1,13 @@
 open Ickpt_runtime
 
+type barrier_plan = {
+  lists_elided : bool;
+  bt_elided : bool;
+  et_elided : bool;
+}
+
+let no_elision = { lists_elided = false; bt_elided = false; et_elided = false }
+
 type t = {
   schema : Schema.t;
   heap : Heap.t;
@@ -11,6 +19,9 @@ type t = {
   k_etentry : Model.klass;
   k_et : Model.klass;
   attrs : Model.obj array;
+  mutable plan : barrier_plan;
+      (* which setters run with their barrier compiled out, per the
+         current phase's static elision plan *)
 }
 
 let bt_unknown = 0
@@ -55,7 +66,10 @@ let create ~n_stmts =
         attr)
   in
   { schema; heap; k_attr; k_se; k_varref; k_btentry; k_bt; k_etentry; k_et;
-    attrs }
+    attrs; plan = no_elision }
+
+let barrier_plan t = t.plan
+let set_barrier_plan t plan = t.plan <- plan
 
 let heap t = t.heap
 let schema t = t.schema
@@ -96,7 +110,9 @@ let set_chain t sid slot values =
           node.Model.children.(0) <- build rest;
           Some node
     in
-    Barrier.set_child se slot (build values);
+    let chain = build values in
+    if t.plan.lists_elided then ignore (Barrier.set_child_raw se slot chain)
+    else Barrier.set_child se slot chain;
     true
   end
 
@@ -105,9 +121,16 @@ let get_reads t sid = chain_to_list (se_entry t sid).Model.children.(slot_reads)
 let set_writes t sid values = set_chain t sid slot_writes values
 let get_writes t sid = chain_to_list (se_entry t sid).Model.children.(slot_writes)
 
-let set_bt t sid v = Barrier.set_int_if_changed (bt_obj t sid) 0 v
+let set_bt t sid v =
+  if t.plan.bt_elided then Barrier.set_int_raw (bt_obj t sid) 0 v
+  else Barrier.set_int_if_changed (bt_obj t sid) 0 v
+
 let get_bt t sid = (bt_obj t sid).Model.ints.(0)
-let set_et t sid v = Barrier.set_int_if_changed (et_obj t sid) 0 v
+
+let set_et t sid v =
+  if t.plan.et_elided then Barrier.set_int_raw (et_obj t sid) 0 v
+  else Barrier.set_int_if_changed (et_obj t sid) 0 v
+
 let get_et t sid = (et_obj t sid).Model.ints.(0)
 
 (* Specialization classes. The attribute tree's static spine is shared by

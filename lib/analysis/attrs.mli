@@ -38,6 +38,34 @@ val roots : t -> Model.obj list
 
 val attr : t -> int -> Model.obj
 
+val se_entry : t -> int -> Model.obj
+(** The statement's [SEEntry] node (for the elision oracle's id → site
+    mapping). *)
+
+val bt_obj : t -> int -> Model.obj
+val et_obj : t -> int -> Model.obj
+
+(** {1 Barrier elision} *)
+
+type barrier_plan = {
+  lists_elided : bool;
+  bt_elided : bool;
+  et_elided : bool;
+}
+(** Which setters run with their write barrier compiled out — no
+    [modified] flag, no trace hook (see {!Ickpt_runtime.Barrier} raw
+    ops). Installed per phase from a {!Staticcheck.Barrier_elide} plan:
+    an elided site is one the phase provably never writes, so the
+    rerouted setters are statically dead; if the proof were wrong, the
+    missing flags would surface as a checkpoint byte divergence in the
+    elision oracle. *)
+
+val no_elision : barrier_plan
+
+val barrier_plan : t -> barrier_plan
+
+val set_barrier_plan : t -> barrier_plan -> unit
+
 (** {1 Annotation values} *)
 
 val bt_unknown : int

@@ -1,0 +1,188 @@
+open Ickpt_core
+
+type violation = {
+  phase : string;
+  site : string;
+  sid : int;
+  detail : string;
+}
+
+type outcome = {
+  workload : string;
+  identical_incremental : bool;
+  identical_specialized : bool;
+  violations : violation list;
+  segments_checked : int;
+  dirty_cells : int;
+}
+
+let ok o =
+  o.identical_incremental && o.identical_specialized && o.violations = []
+
+let chains_identical a b =
+  let key (s : Segment.t) =
+    (s.Segment.kind, s.Segment.seq, s.Segment.roots, s.Segment.body)
+  in
+  List.map key (Chain.segments a) = List.map key (Chain.segments b)
+
+(* The id → (site, sid) map of the attribute tree: which statically
+   analyzed site each heap object's dirty flag stands for. VarRef chain
+   nodes are allocated dynamically and are not in the map; they belong
+   to the se-lists site of whatever SEEntry points at them. *)
+type owner = Spine | Site of Staticcheck.Barrier_elide.site
+
+let owner_map attrs =
+  let tbl = Hashtbl.create 256 in
+  let id (o : Ickpt_runtime.Model.obj) =
+    o.Ickpt_runtime.Model.info.Ickpt_runtime.Model.id
+  in
+  let child (o : Ickpt_runtime.Model.obj) i =
+    match o.Ickpt_runtime.Model.children.(i) with
+    | Some c -> c
+    | None -> invalid_arg "Elide_oracle: attribute spine child missing"
+  in
+  for sid = 0 to Attrs.n_stmts attrs - 1 do
+    let attr = Attrs.attr attrs sid in
+    Hashtbl.replace tbl (id attr) (Spine, sid);
+    Hashtbl.replace tbl (id (child attr 1)) (Spine, sid);
+    Hashtbl.replace tbl (id (child attr 2)) (Spine, sid);
+    Hashtbl.replace tbl
+      (id (Attrs.se_entry attrs sid))
+      (Site Staticcheck.Barrier_elide.Lists, sid);
+    Hashtbl.replace tbl
+      (id (Attrs.bt_obj attrs sid))
+      (Site Staticcheck.Barrier_elide.Bt, sid);
+    Hashtbl.replace tbl
+      (id (Attrs.et_obj attrs sid))
+      (Site Staticcheck.Barrier_elide.Et, sid)
+  done;
+  tbl
+
+let phase_of_name = function
+  | "sea" -> Staticcheck.Phase_model.Sea
+  | "bta" -> Staticcheck.Phase_model.Bta
+  | "eta" -> Staticcheck.Phase_model.Eta
+  | p -> invalid_arg ("Elide_oracle: unknown phase " ^ p)
+
+(* Check invariant I8 against the incremental instrumented run: every
+   record in a phase's segments must be a cell of a site region the
+   phase may write. *)
+let check_containment (report : Engine.report) =
+  let attrs = report.Engine.attrs in
+  let schema = Attrs.schema attrs in
+  let owners = owner_map attrs in
+  let varref_kid =
+    (Ickpt_runtime.Schema.find_name schema "VarRef").Ickpt_runtime.Model.kid
+  in
+  let violations = ref [] in
+  let segments_checked = ref 0 in
+  let dirty_cells = ref 0 in
+  let incremental_segments =
+    List.filter
+      (fun (s : Segment.t) -> s.Segment.kind = Segment.Incremental)
+      (Chain.segments report.Engine.chain)
+  in
+  (* Segments are positional: the phases ran in order, one segment per
+     iteration, after the single full base segment. *)
+  let rec attribute segs = function
+    | [] -> ()
+    | (p : Engine.phase_report) :: phases ->
+        let rec take n segs =
+          if n = 0 then ([], segs)
+          else
+            match segs with
+            | [] -> ([], [])
+            | s :: rest ->
+                let mine, others = take (n - 1) rest in
+                (s :: mine, others)
+        in
+        let mine, rest = take p.Engine.iterations segs in
+        let phase = phase_of_name p.Engine.phase in
+        let region site =
+          Staticcheck.Barrier_elide.site_region_for
+            ~n_stmts:(Attrs.n_stmts attrs) phase site
+        in
+        List.iter
+          (fun (s : Segment.t) ->
+            incr segments_checked;
+            List.iter
+              (fun (r : Restore.record) ->
+                incr dirty_cells;
+                let add site sid detail =
+                  violations :=
+                    { phase = p.Engine.phase; site; sid; detail } :: !violations
+                in
+                match Hashtbl.find_opt owners r.Restore.rec_id with
+                | Some (Spine, sid) ->
+                    add "spine" sid
+                      "attribute-tree spine object dirtied; no phase may \
+                       modify the spine"
+                | Some (Site site, sid) ->
+                    if not (Staticcheck.Regions.mem sid (region site)) then
+                      add
+                        (Staticcheck.Barrier_elide.site_name site)
+                        sid
+                        (Format.asprintf
+                           "dirty cell %d outside static may-write region %a"
+                           sid Staticcheck.Regions.pp (region site))
+                | None ->
+                    if r.Restore.rec_kid = varref_kid then begin
+                      if
+                        Staticcheck.Regions.is_bot
+                          (region Staticcheck.Barrier_elide.Lists)
+                      then
+                        add "se-lists" (-1)
+                          "VarRef dirtied in a phase whose se-lists \
+                           may-write region is empty"
+                    end
+                    else
+                      add "?" (-1)
+                        (Printf.sprintf
+                           "record for unknown object id %d (class id %d)"
+                           r.Restore.rec_id r.Restore.rec_kid)
+              )
+              (Restore.records_of_body schema s.Segment.body))
+          mine;
+        attribute rest phases
+  in
+  attribute incremental_segments report.Engine.phases;
+  (List.rev !violations, !segments_checked, !dirty_cells)
+
+let run ?division ~name program =
+  let analyze ~mode ~guard ~elide =
+    Engine.analyze ~mode ?division ~guard ~elide program
+  in
+  let inst_inc = analyze ~mode:Engine.Incremental ~guard:false ~elide:false in
+  let elid_inc = analyze ~mode:Engine.Incremental ~guard:false ~elide:true in
+  let inst_spec = analyze ~mode:Engine.Specialized ~guard:true ~elide:false in
+  let elid_spec = analyze ~mode:Engine.Specialized ~guard:true ~elide:true in
+  let violations, segments_checked, dirty_cells =
+    check_containment inst_inc
+  in
+  { workload = name;
+    identical_incremental =
+      chains_identical inst_inc.Engine.chain elid_inc.Engine.chain;
+    identical_specialized =
+      chains_identical inst_spec.Engine.chain elid_spec.Engine.chain;
+    violations;
+    segments_checked;
+    dirty_cells }
+
+let builtin_workloads () =
+  [ ("image", Minic.Gen.image_program ());
+    ("small", Minic.Gen.small_program ()) ]
+
+let pp ppf o =
+  Format.fprintf ppf "@[<v 2>%s: %s" o.workload
+    (if ok o then "ok" else "FAILED");
+  Format.fprintf ppf
+    "@,incremental chains identical: %b@,specialized chains identical: %b"
+    o.identical_incremental o.identical_specialized;
+  Format.fprintf ppf "@,I8: %d dirty cell(s) over %d segment(s), %d violation(s)"
+    o.dirty_cells o.segments_checked
+    (List.length o.violations);
+  List.iter
+    (fun v ->
+      Format.fprintf ppf "@,[%s] %s sid %d: %s" v.phase v.site v.sid v.detail)
+    o.violations;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,47 @@
+(** Differential soundness oracle for static write-barrier elision.
+
+    Two dynamic checks per workload, against the static
+    {!Staticcheck.Barrier_elide} facts:
+
+    - {b Byte identity}: the workload runs once fully instrumented and
+      once with elision ([Engine.analyze ~elide:true]), in both
+      incremental and guarded-specialized modes; the two checkpoint
+      chains must be byte-identical segment by segment. A wrong elision
+      (a barrier removed from a site the phase does write) silently
+      drops the site from incremental checkpoints — exactly the
+      divergence this comparison catches.
+
+    - {b Invariant I8 (containment)}: decoding every incremental segment
+      of the instrumented run and attributing it to its phase (segments
+      are positional: one base, then one per iteration in phase order),
+      every dynamically dirtied attribute cell must lie inside the
+      phase's static may-write region — static may-write ⊇ dynamic
+      dirty set. *)
+
+type violation = {
+  phase : string;
+  site : string;  (** "se-lists", "bt", "et", or "spine" *)
+  sid : int;  (** statement id, [-1] when unattributable (VarRef) *)
+  detail : string;
+}
+
+type outcome = {
+  workload : string;
+  identical_incremental : bool;
+  identical_specialized : bool;
+  violations : violation list;  (** I8 breaches; empty when sound *)
+  segments_checked : int;  (** incremental segments decoded for I8 *)
+  dirty_cells : int;  (** dynamically dirty attribute cells observed *)
+}
+
+val ok : outcome -> bool
+
+val run : ?division:string list -> name:string -> Minic.Ast.program -> outcome
+(** Four engine runs of the workload (instrumented/elided ×
+    incremental/guarded-specialized) plus the segment decode. *)
+
+val builtin_workloads : unit -> (string * Minic.Ast.program) list
+(** The generator workloads the test suite and CLI default to:
+    the image program and the small program of {!Minic.Gen}. *)
+
+val pp : Format.formatter -> outcome -> unit

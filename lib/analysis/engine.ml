@@ -14,6 +14,7 @@ type iteration_stat = {
   bytes : int;
   seconds : float;
   traversal_seconds : float option;
+  guard_seconds : float;
   recorded : int;
 }
 
@@ -32,6 +33,7 @@ type report = {
   chain : Chain.t;
   attrs : Attrs.t;
   env : Minic.Check.env;
+  elide_plans : Staticcheck.Barrier_elide.plan list;
 }
 
 exception Preflight_failed of Staticcheck.Spec_lint.diagnostic list
@@ -79,9 +81,12 @@ let phase_bytes p = List.fold_left (fun acc s -> acc + s.bytes) 0 p.stats
 let phase_ckp_seconds p =
   List.fold_left (fun acc s -> acc +. s.seconds) 0.0 p.stats
 
-(* One checkpointing step over the attribute roots, returning the stat. *)
-let checkpoint_step ~mode ~measure_traversal ~guard ~chain ~attrs ~spec_runner
-    ~shape () =
+(* One checkpointing step over the attribute roots, returning the stat.
+   [guard_shape] is the (possibly elision-pruned) declaration to validate
+   before specialized recording; [None] means the check is statically
+   discharged (or guards are off) and skipped outright. *)
+let checkpoint_step ~mode ~measure_traversal ~guard_shape ~chain ~attrs
+    ~spec_runner () =
   let roots = Attrs.roots attrs in
   match mode with
   | Full ->
@@ -100,6 +105,7 @@ let checkpoint_step ~mode ~measure_traversal ~guard ~chain ~attrs ~spec_runner
       { bytes = Segment.body_size taken.Chain.segment;
         seconds;
         traversal_seconds;
+        guard_seconds = 0.0;
         recorded = taken.Chain.stats.Checkpointer.recorded }
   | Incremental ->
       let (taken : Chain.taken), seconds =
@@ -117,15 +123,21 @@ let checkpoint_step ~mode ~measure_traversal ~guard ~chain ~attrs ~spec_runner
       { bytes = Segment.body_size taken.Chain.segment;
         seconds;
         traversal_seconds;
+        guard_seconds = 0.0;
         recorded = taken.Chain.stats.Checkpointer.recorded }
   | Specialized ->
-      if guard then
-        List.iter
-          (fun root ->
-            match Jspec.Guard.check shape root with
-            | [] -> ()
-            | v :: _ -> raise (Jspec.Guard.Violated v))
-          roots;
+      let (), guard_seconds =
+        Clock.time (fun () ->
+            match guard_shape with
+            | None -> ()
+            | Some shape ->
+                List.iter
+                  (fun root ->
+                    match Jspec.Guard.check shape root with
+                    | [] -> ()
+                    | v :: _ -> raise (Jspec.Guard.Violated v))
+                  roots)
+      in
       let d = Ickpt_stream.Out_stream.create () in
       let (), seconds =
         Clock.time (fun () -> List.iter (fun r -> spec_runner d r) roots)
@@ -151,12 +163,18 @@ let checkpoint_step ~mode ~measure_traversal ~guard ~chain ~attrs ~spec_runner
           in
           Some s
       in
-      { bytes = String.length body; seconds; traversal_seconds; recorded = -1 }
+      { bytes = String.length body;
+        seconds;
+        traversal_seconds;
+        guard_seconds;
+        recorded = -1 }
 
 (* One plan cache per engine run: the three phase shapes compile once each
-   and are shared however many iterations run (cf. Jspec.Spec_cache). *)
-let run_phase ~cache ~name ~mode ~measure_traversal ~guard ~chain ~attrs ~shape
-    analysis =
+   and are shared however many iterations run (cf. Jspec.Spec_cache).
+   [barrier_plan] reroutes the phase's statically dead setters around the
+   write barrier for the duration of the phase. *)
+let run_phase ~cache ~name ~mode ~measure_traversal ~guard_shape ~barrier_plan
+    ~chain ~attrs ~shape analysis =
   let spec_runner =
     match mode with
     | Specialized -> Jspec.Spec_cache.runner cache shape
@@ -166,15 +184,20 @@ let run_phase ~cache ~name ~mode ~measure_traversal ~guard ~chain ~attrs ~shape
   let ckp_total = ref 0.0 in
   let on_iteration _i =
     let stat =
-      checkpoint_step ~mode ~measure_traversal ~guard ~chain ~attrs
-        ~spec_runner ~shape ()
+      checkpoint_step ~mode ~measure_traversal ~guard_shape ~chain ~attrs
+        ~spec_runner ()
     in
     ckp_total :=
-      !ckp_total +. stat.seconds
+      !ckp_total +. stat.seconds +. stat.guard_seconds
       +. Option.value ~default:0.0 stat.traversal_seconds;
     stats := stat :: !stats
   in
-  let iterations, total_seconds = Clock.time (fun () -> analysis ~on_iteration) in
+  Attrs.set_barrier_plan attrs barrier_plan;
+  let iterations, total_seconds =
+    Fun.protect
+      ~finally:(fun () -> Attrs.set_barrier_plan attrs Attrs.no_elision)
+      (fun () -> Clock.time (fun () -> analysis ~on_iteration))
+  in
   { phase = name;
     iterations;
     stats = List.rev !stats;
@@ -182,7 +205,7 @@ let run_phase ~cache ~name ~mode ~measure_traversal ~guard ~chain ~attrs ~shape
 
 let analyze ?(mode = Incremental) ?division ?(sea_min = 1) ?(bta_min = 1)
     ?(eta_min = 1) ?(measure_traversal = false) ?(guard = false)
-    ?(preflight = false) program =
+    ?(preflight = false) ?(elide = false) program =
   let env = Minic.Check.check program in
   let division =
     match division with
@@ -205,26 +228,79 @@ let analyze ?(mode = Incremental) ?division ?(sea_min = 1) ?(bta_min = 1)
   (* Base checkpoint: everything is fresh, so record it all once. *)
   let base = Chain.take_full chain (Attrs.roots attrs) in
   let base_bytes = Segment.body_size base.Chain.segment in
-  let phases =
-    [ run_phase ~cache ~name:"sea" ~mode ~measure_traversal ~guard ~chain
-        ~attrs ~shape:(Attrs.sea_shape attrs) (fun ~on_iteration ->
-          Sea.run ~on_iteration ~min_iterations:sea_min env attrs);
-      run_phase ~cache ~name:"bta" ~mode ~measure_traversal ~guard ~chain
-        ~attrs ~shape:(Attrs.bta_shape attrs) (fun ~on_iteration ->
-          Bta_phase.run ~on_iteration ~min_iterations:bta_min ~division env
-            attrs);
-      run_phase ~cache ~name:"eta" ~mode ~measure_traversal ~guard ~chain
-        ~attrs ~shape:(Attrs.eta_shape attrs) (fun ~on_iteration ->
-          Eta_phase.run ~on_iteration ~min_iterations:eta_min ~division env
-            attrs) ]
+  (* Static elision: one Barrier_elide plan per phase. The planner only
+     elides sites whose may-write region is empty, so installing the
+     plan cannot change checkpoint bytes — which the elision oracle
+     re-verifies differentially on every workload. *)
+  let elide_plan shape phase =
+    if elide then Some (Staticcheck.Barrier_elide.plan ~declared:shape phase)
+    else None
   in
+  let phase_setup shape phase =
+    let plan = elide_plan shape phase in
+    let guard_shape =
+      if not guard then None
+      else
+        match plan with
+        | None -> Some shape
+        | Some p -> p.Staticcheck.Barrier_elide.guard_shape
+    in
+    let barrier_plan =
+      match plan with
+      | None -> Attrs.no_elision
+      | Some p ->
+          let dead s = List.mem s (Staticcheck.Barrier_elide.elided p) in
+          { Attrs.lists_elided = dead Staticcheck.Barrier_elide.Lists;
+            bt_elided = dead Staticcheck.Barrier_elide.Bt;
+            et_elided = dead Staticcheck.Barrier_elide.Et }
+    in
+    (plan, guard_shape, barrier_plan)
+  in
+  let sea_shape = Attrs.sea_shape attrs in
+  let bta_shape = Attrs.bta_shape attrs in
+  let eta_shape = Attrs.eta_shape attrs in
+  let sea_plan, sea_guard, sea_barrier =
+    phase_setup sea_shape Staticcheck.Phase_model.Sea
+  in
+  let bta_plan, bta_guard, bta_barrier =
+    phase_setup bta_shape Staticcheck.Phase_model.Bta
+  in
+  let eta_plan, eta_guard, eta_barrier =
+    phase_setup eta_shape Staticcheck.Phase_model.Eta
+  in
+  (* Bound with [let] one after another: a list literal would evaluate
+     its elements in unspecified (in practice reverse) order, running
+     eta before bta ever computed a binding time — and interleaving the
+     chain's segments out of phase order. *)
+  let sea_report =
+    run_phase ~cache ~name:"sea" ~mode ~measure_traversal
+      ~guard_shape:sea_guard ~barrier_plan:sea_barrier ~chain ~attrs
+      ~shape:sea_shape (fun ~on_iteration ->
+        Sea.run ~on_iteration ~min_iterations:sea_min env attrs)
+  in
+  let bta_report =
+    run_phase ~cache ~name:"bta" ~mode ~measure_traversal
+      ~guard_shape:bta_guard ~barrier_plan:bta_barrier ~chain ~attrs
+      ~shape:bta_shape (fun ~on_iteration ->
+        Bta_phase.run ~on_iteration ~min_iterations:bta_min ~division env
+          attrs)
+  in
+  let eta_report =
+    run_phase ~cache ~name:"eta" ~mode ~measure_traversal
+      ~guard_shape:eta_guard ~barrier_plan:eta_barrier ~chain ~attrs
+      ~shape:eta_shape (fun ~on_iteration ->
+        Eta_phase.run ~on_iteration ~min_iterations:eta_min ~division env
+          attrs)
+  in
+  let phases = [ sea_report; bta_report; eta_report ] in
   { mode;
     n_stmts = Attrs.n_stmts attrs;
     base_bytes;
     phases;
     chain;
     attrs;
-    env }
+    env;
+    elide_plans = List.filter_map Fun.id [ sea_plan; bta_plan; eta_plan ] }
 
 let recover_annotations report =
   match Chain.recover report.chain with

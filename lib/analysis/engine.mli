@@ -24,6 +24,10 @@ type iteration_stat = {
   bytes : int;  (** checkpoint body size *)
   seconds : float;  (** construction time *)
   traversal_seconds : float option;
+  guard_seconds : float;
+      (** time validating the specialization class before recording
+          ([Specialized] mode with guards on; [0.] otherwise — and [0.]
+          again when static elision discharges the whole check) *)
   recorded : int;  (** objects recorded (full/incremental modes only) *)
 }
 
@@ -42,6 +46,9 @@ type report = {
   chain : Chain.t;
   attrs : Attrs.t;
   env : Minic.Check.env;
+  elide_plans : Staticcheck.Barrier_elide.plan list;
+      (** the per-phase elision plans the run executed under; empty
+          unless [analyze ~elide:true] *)
 }
 
 exception Preflight_failed of Staticcheck.Spec_lint.diagnostic list
@@ -63,6 +70,7 @@ val analyze :
   ?measure_traversal:bool ->
   ?guard:bool ->
   ?preflight:bool ->
+  ?elide:bool ->
   Minic.Ast.program ->
   report
 (** Defaults: [mode = Incremental]; [division] = the program's globals
@@ -77,7 +85,14 @@ val analyze :
     checkpoint code is translation-validated against the generic
     algorithm — through the run's {!Jspec.Spec_cache}, so shared shapes
     verify once — raising {!Verification_failed} on a refuted or
-    unsupported shape).
+    unsupported shape); [elide = false] (when true, each phase runs
+    under its {!Staticcheck.Barrier_elide} plan: setters for sites the
+    dirty-region analysis proves the phase never writes are rerouted
+    around the write barrier, and the runtime guard is pruned to the
+    checks the analysis could not discharge — skipped entirely when none
+    remain. Elision never changes checkpoint bytes on any run the static
+    analysis covers soundly; {!Elide_oracle} verifies this
+    differentially).
 
     The chain in the result can be recovered to verify the checkpointed
     analysis state (see the crash-recovery example). *)

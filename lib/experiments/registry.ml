@@ -20,7 +20,10 @@ let all =
       run = Ablation_guard.run };
     { name = Ablation_crash.name;
       title = Ablation_crash.title;
-      run = Ablation_crash.run } ]
+      run = Ablation_crash.run };
+    { name = Ablation_barrier.name;
+      title = Ablation_barrier.title;
+      run = Ablation_barrier.run } ]
 
 let find name = List.find_opt (fun e -> e.name = name) all
 

@@ -14,6 +14,14 @@ let render_path rev_slots =
     (fun acc slot -> Printf.sprintf "%s.children[%d]" acc slot)
     "root" (List.rev rev_slots)
 
+(* Cumulative count of objects visited by [check] — a deterministic
+   measure of guard work for the barrier-elision tests and ablation
+   (wall-clock being too noisy to assert on). *)
+let visits = ref 0
+
+let nodes_visited () = !visits
+let reset_visits () = visits := 0
+
 let check shape root =
   let out = ref [] in
   let add rev_path fmt =
@@ -24,6 +32,7 @@ let check shape root =
   (* A [Clean_opaque] declaration covers everything reachable below the
      child, whatever its shape. *)
   let rec check_subtree_clean rev_path (o : Model.obj) =
+    incr visits;
     if o.Model.info.Model.modified then
       add rev_path "modified flag set below a subtree declared Clean_opaque";
     Array.iteri
@@ -33,6 +42,7 @@ let check shape root =
         | Some c -> check_subtree_clean (i :: rev_path) c)
       o.Model.children
   and go rev_path (s : Sclass.shape) (o : Model.obj) =
+    incr visits;
     if o.Model.klass.Model.kid <> s.Sclass.klass.Model.kid then
       add rev_path "class %s, declared %s" o.Model.klass.Model.kname
         s.Sclass.klass.Model.kname

@@ -21,6 +21,14 @@ val check : Sclass.shape -> Model.obj -> violation list
     sorted by (path, reason) — stable and deterministic, independent of
     traversal order. *)
 
+val nodes_visited : unit -> int
+(** Cumulative objects visited by {!check} since {!reset_visits} — a
+    deterministic measure of guard work (the quantity static barrier
+    elision removes when a pruned guard shape drops subtree walks or the
+    whole check). *)
+
+val reset_visits : unit -> unit
+
 val group_by_reason : violation list -> (string * violation list) list
 (** Reasons in alphabetical order, each with its violations in path
     order. *)

@@ -32,6 +32,25 @@ let set_child_if_changed o i c =
     true
   end
 
+(* Statically elided barriers: the store happens, but no flag is set and
+   no trace fires — the compiled-out form the paper's Section 6 overhead
+   discussion assumes for provably dead sites. If the proof is wrong,
+   the object silently misses the next incremental checkpoint, which the
+   differential elision oracle detects as a byte divergence. *)
+let set_int_raw o i v =
+  if o.Model.ints.(i) = v then false
+  else begin
+    o.Model.ints.(i) <- v;
+    true
+  end
+
+let set_child_raw o i c =
+  if same_child o.Model.children.(i) c then false
+  else begin
+    o.Model.children.(i) <- c;
+    true
+  end
+
 let get_int o i = o.Model.ints.(i)
 
 let get_child o i = o.Model.children.(i)

@@ -20,6 +20,14 @@ val set_int_if_changed : Model.obj -> int -> int -> bool
 
 val set_child_if_changed : Model.obj -> int -> Model.obj option -> bool
 
+val set_int_raw : Model.obj -> int -> int -> bool
+(** Elided barrier: store without setting the [modified] flag or firing
+    the trace hook, for sites a static analysis proved dead in the
+    current phase (see {!Staticcheck.Barrier_elide}). Returns [true] iff
+    the stored value changed. *)
+
+val set_child_raw : Model.obj -> int -> Model.obj option -> bool
+
 val get_int : Model.obj -> int -> int
 
 val get_child : Model.obj -> int -> Model.obj option

@@ -1,0 +1,70 @@
+(** Static write-barrier elision planner.
+
+    Turns the {!Dirty_ai} may-write regions of the three phase models
+    into an executable plan: which attribute-tree {e sites} (the
+    side-effect lists, the BT cell, the ET cell) a phase provably never
+    writes — so their write barriers and [modified]-flag maintenance can
+    be compiled out for that phase — and how much of the runtime
+    {!Jspec.Guard} check the same facts discharge.
+
+    Soundness rests on invariant {b I8}: the static may-write region of
+    a site must contain every cell the phase dynamically dirties. The
+    planner only elides a site whose region is {e empty}; a region that
+    is non-empty (even partially clean) keeps its barrier and yields a
+    {!Finding.t} explaining what imprecision (or genuine modification)
+    forces it to stay. {!Ickpt_analysis.Elide_oracle} re-verifies I8 and
+    byte-identity of checkpoints dynamically on every workload. *)
+
+type site = Lists | Bt | Et
+
+val site_name : site -> string
+(** ["se-lists"], ["bt"], ["et"]. *)
+
+val all_sites : site list
+
+val site_region : Phase_model.phase -> site -> Regions.t
+(** The site's static may-write region over statement ids, from the
+    memoized {!Dirty_ai} run of the phase model (inputs havoced per
+    {!Phase_model.input_globals}). For [Lists] this is the join of the
+    [se_reads] and [se_writes] regions. *)
+
+val site_region_for : n_stmts:int -> Phase_model.phase -> site -> Regions.t
+(** {!site_region} rescaled to a workload with [n_stmts] statements. The
+    phase models use fixed 64-cell attribute arrays to abstract programs
+    of any size; by convention the last model cell summarizes every
+    statement at or beyond it, so a region reaching the last cell
+    extends to [n_stmts - 1], and a smaller workload clamps. Emptiness —
+    the elision criterion — is invariant under this rescaling. *)
+
+type decision = {
+  site : site;
+  elide : bool;  (** barrier + flag maintenance compiled out *)
+  region : Regions.t;  (** static may-write region over sids *)
+  reason : string;
+}
+
+type plan = {
+  phase : Phase_model.phase;
+  decisions : decision list;  (** one per {!all_sites}, in order *)
+  guard_shape : Jspec.Sclass.shape option;
+      (** The declared shape with every statically discharged
+          cleanliness check pruned ([Clean] status relaxed,
+          [Clean_opaque] subtree walks dropped); [None] when nothing is
+          left to check at run time. *)
+  findings : Finding.t list;
+      (** Why barriers or guard checks stay: [Error] for a declaration
+          the region analysis contradicts (eliding would be unsound),
+          [Warning] where imprecision leaves a partially-clean region
+          that object-granularity barriers cannot exploit. *)
+}
+
+val plan : declared:Jspec.Sclass.shape -> Phase_model.phase -> plan
+(** [declared] is the phase's declared specialization class (over the
+    seven Attrs klasses, same tree as {!Infer.shape} builds), whose
+    guard the plan prunes. *)
+
+val elided : plan -> site list
+
+val decision : plan -> site -> decision
+
+val pp : Format.formatter -> plan -> unit

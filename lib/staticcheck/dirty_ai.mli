@@ -1,0 +1,74 @@
+(** Interprocedural dirty-region analysis: an abstract interpretation of
+    mini-C that computes, per function and per program point, a may-write
+    set over heap regions ({!Regions.t} per global — array segments as
+    interval sets, scalars as the cell [0]).
+
+    This refines {!Effects} (which only distinguishes literal-index cell
+    sets from whole arrays): scalar values are tracked as intervals, loop
+    bodies are iterated to a local fixpoint with widening and re-entered
+    through the loop guard (so a store [temp[p] = ...] under
+    [while (p < npixels - width)] lands in [temp[8..55]], not
+    [temp[*]]), branches with statically decided conditions contribute
+    nothing from the dead arm, and functions that are never called
+    contribute nothing at all. Call effects are summarised per function
+    — transitive, context-insensitive, with parameter intervals joined
+    over all call sites — layered over the same global numbering the
+    {!Effects} lattice uses.
+
+    Soundness contract (invariant I8): for any terminating concrete run,
+    every global cell actually written is contained in {!main_writes};
+    the complement ({!clean_cells}) is definitely clean. The runtime
+    {!Ickpt_analysis.Elide_oracle} re-verifies this dynamically. *)
+
+type result
+
+val analyze : ?havoc:string list -> Minic.Check.env -> result
+(** Converge the global fixpoint (function summaries, parameter and
+    return intervals, global value approximations) over the checked
+    program. Terminates on any input: interval growth is widened after a
+    fixed number of rounds.
+
+    [havoc] names globals to treat as arbitrary external input (value
+    {!Regions.itv_full} from the start) instead of their declared
+    initializers. mini-C programs are closed, so the default is sound
+    for real workloads; the {!Phase_model} programs encode their input
+    in zero-initialized tables ({!Phase_model.input_globals}) and must
+    be analyzed with those havoced. *)
+
+val env : result -> Minic.Check.env
+
+val rounds : result -> int
+(** Fixpoint rounds taken — exposed for termination tests. *)
+
+val func_writes : result -> string -> Regions.map
+(** Transitive may-write regions of one call to the function; empty for
+    an unknown or never-called function. *)
+
+val main_writes : result -> Regions.map
+(** The whole program's may-write regions: [func_writes r "main"]. *)
+
+val stmt_writes : result -> int -> Regions.map
+(** May-write regions of the statement with the given sid, subtree and
+    calls included — the per-program-point view. [Regions.map_empty] for
+    statements proven unreachable (dead branches, uncalled functions). *)
+
+val write_region : result -> string -> Regions.t
+(** [main_writes] restricted to one global, by name, clamped to the
+    global's extent; {!Regions.Bot} when provably never written. *)
+
+val definitely_clean : result -> string -> bool
+(** The program can never write any cell of the named global. *)
+
+val clean_cells : result -> string -> Regions.t
+(** The definitely-clean cells of the global: its extent minus
+    {!write_region} — e.g. [temp[0..7,56..63]] for the blur workload. *)
+
+val global_value : result -> string -> Regions.itv
+(** Flow-insensitive over-approximation of the values the global (for
+    arrays: any element) can hold at any time. *)
+
+val pp : Format.formatter -> result -> unit
+(** Per-function write summaries, in program order. *)
+
+val pp_writes : result -> Format.formatter -> Regions.map -> unit
+(** Render a region map with this program's global names. *)

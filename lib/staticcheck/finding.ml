@@ -23,6 +23,29 @@ let order a b =
 
 let sort fs = List.sort_uniq order fs
 
+(* Several passes (spec-lint, residual lint, elision planning, seeded
+   demonstrations) can flag the same rule at the same location with
+   differently worded reasons; a report should show each (rule, location)
+   once, at its highest severity. Order ties break toward the first
+   reason in sort order. *)
+let dedup fs =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun f ->
+      let key = (f.scope, f.path) in
+      match Hashtbl.find_opt tbl key with
+      | None -> Hashtbl.replace tbl key f
+      | Some g ->
+          let keep =
+            match (f.severity, g.severity) with
+            | Error, Warning -> f
+            | Warning, Error -> g
+            | _ -> if order f g < 0 then f else g
+          in
+          Hashtbl.replace tbl key keep)
+    (sort fs);
+  sort (Hashtbl.fold (fun _ f acc -> f :: acc) tbl [])
+
 let has_errors = List.exists (fun f -> f.severity = Error)
 
 let count sev fs = List.length (List.filter (fun f -> f.severity = sev) fs)
@@ -40,9 +63,10 @@ let pp ppf f =
     f.path f.reason
 
 (* Grouped by reason, like Guard.pp_report, so static findings and
-   runtime guard reports read the same way. *)
+   runtime guard reports read the same way. Duplicate (scope, path)
+   findings collapse to their highest severity before grouping. *)
 let pp_report ppf fs =
-  match sort fs with
+  match dedup fs with
   | [] -> Format.pp_print_string ppf "lint: no findings"
   | fs ->
       Format.fprintf ppf "@[<v>lint: %d error(s), %d warning(s)" (count Error fs)

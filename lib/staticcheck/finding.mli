@@ -16,6 +16,12 @@ val of_residual : phase:string -> Residual_lint.finding -> t
 val sort : t list -> t list
 (** Sorted by (scope, path, reason), duplicates removed. *)
 
+val dedup : t list -> t list
+(** {!sort}, then collapse findings with identical (scope, path) — the
+    rule and the location — to a single entry at the highest severity
+    present (reason ties break toward sort order). {!pp_report} applies
+    this before grouping. *)
+
 val has_errors : t list -> bool
 val count : severity -> t list -> int
 

@@ -271,6 +271,11 @@ int main() {
 
 let source = function Sea -> sea_src | Bta -> bta_src | Eta -> eta_src
 
+let input_globals = function
+  | Sea -> [ "stmt_kind"; "stmt_var"; "stmt_callee" ]
+  | Bta -> [ "stmt_kind"; "stmt_var"; "stmt_callee"; "division" ]
+  | Eta -> [ "stmt_kind"; "stmt_var"; "stmt_callee"; "division"; g_bt ]
+
 let envs : (phase, Minic.Check.env) Hashtbl.t = Hashtbl.create 3
 
 let env phase =

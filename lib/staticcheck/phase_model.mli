@@ -36,6 +36,13 @@ val g_et : string
 
 val attr_globals : string list
 
+val input_globals : phase -> string list
+(** The globals that stand for the phase's {e input} — the encoded
+    program tables (and, for [Eta], the converged [bt] attributes). The
+    models declare them zero-initialized because mini-C has no external
+    input; any value-sensitive analysis (e.g. {!Dirty_ai}) must havoc
+    them to model an arbitrary analyzed program soundly. *)
+
 (** {1 The models} *)
 
 val source : phase -> string

@@ -274,6 +274,147 @@ let finding_report_groups () =
   check_bool "grouped by reason" true
     (Test_util.contains_substring out "dead test (2):")
 
+(* Duplicate (scope, path) findings — same rule, same location, worded
+   differently by different passes — collapse to one entry at the
+   highest severity before grouping. *)
+let finding_dedup () =
+  let f severity reason =
+    { Finding.severity; scope = "spec:sea"; path = "root.children[0]"; reason }
+  in
+  let other =
+    { Finding.severity = Finding.Warning;
+      scope = "residual:sea";
+      path = "root.children[0]";
+      reason = "dead test" }
+  in
+  let deduped =
+    Finding.dedup
+      [ f Finding.Warning "imprecise"; f Finding.Error "unsound";
+        f Finding.Warning "imprecise"; other ]
+  in
+  check_int "one finding per (rule, location)" 2 (List.length deduped);
+  check_int "highest severity kept" 1 (Finding.count Finding.Error deduped);
+  let report =
+    Format.asprintf "%a" Finding.pp_report
+      [ f Finding.Warning "imprecise"; f Finding.Error "unsound" ]
+  in
+  check_bool "report counts deduped findings" true
+    (Test_util.contains_substring report "lint: 1 error(s), 0 warning(s)")
+
+(* ---- lattice properties (QCheck) ------------------------------------------ *)
+
+(* Random generators for the two static lattices: Effects (finite sets
+   of cells per global, Whole as top) and Regions (interval sets). *)
+
+let seg_gen =
+  let open QCheck2.Gen in
+  oneof
+    [ return Effects.Whole;
+      map
+        (fun l -> Effects.Cells (Effects.Int_set.of_list l))
+        (list_size (int_range 0 6) (int_range 0 12)) ]
+
+let effects_gen =
+  let open QCheck2.Gen in
+  let map_gen =
+    map
+      (List.fold_left
+         (fun m (g, s) ->
+           Effects.Gid_map.update g
+             (function None -> Some s | Some s0 -> Some (Effects.seg_join s0 s))
+             m)
+         Effects.Gid_map.empty)
+      (list_size (int_range 0 4) (pair (int_range 0 5) seg_gen))
+  in
+  map2 (fun reads writes -> { Effects.reads; writes }) map_gen map_gen
+
+let region_gen =
+  let open QCheck2.Gen in
+  oneof
+    [ return Regions.bot;
+      return Regions.top;
+      map
+        (List.fold_left
+           (fun acc (lo, w) -> Regions.join acc (Regions.interval lo (lo + w)))
+           Regions.bot)
+        (list_size (int_range 1 5)
+           (pair (int_range (-20) 40) (int_range 0 10))) ]
+
+let prop_effects_join_comm =
+  QCheck2.Test.make ~name:"effects: join commutative" ~count:200
+    QCheck2.Gen.(pair effects_gen effects_gen)
+    (fun (a, b) -> Effects.equal (Effects.join a b) (Effects.join b a))
+
+let prop_effects_join_assoc =
+  QCheck2.Test.make ~name:"effects: join associative" ~count:200
+    QCheck2.Gen.(triple effects_gen effects_gen effects_gen)
+    (fun (a, b, c) ->
+      Effects.equal
+        (Effects.join a (Effects.join b c))
+        (Effects.join (Effects.join a b) c))
+
+let prop_effects_join_idem =
+  QCheck2.Test.make ~name:"effects: join idempotent, empty neutral" ~count:200
+    effects_gen
+    (fun a ->
+      Effects.equal (Effects.join a a) a
+      && Effects.equal (Effects.join a Effects.empty) a)
+
+let prop_effects_join_absorbs =
+  QCheck2.Test.make ~name:"effects: fixpoint chain stabilizes (absorption)"
+    ~count:100
+    QCheck2.Gen.(list_size (int_range 1 8) effects_gen)
+    (fun l ->
+      (* the converged summary absorbs every contribution — exactly why
+         the interprocedural fixpoint terminates *)
+      let total = List.fold_left Effects.join Effects.empty l in
+      List.for_all (fun x -> Effects.equal (Effects.join total x) total) l)
+
+let prop_regions_join_comm =
+  QCheck2.Test.make ~name:"regions: join commutative" ~count:300
+    QCheck2.Gen.(pair region_gen region_gen)
+    (fun (a, b) -> Regions.equal (Regions.join a b) (Regions.join b a))
+
+let prop_regions_join_assoc =
+  QCheck2.Test.make ~name:"regions: join associative" ~count:300
+    QCheck2.Gen.(triple region_gen region_gen region_gen)
+    (fun (a, b, c) ->
+      Regions.equal
+        (Regions.join a (Regions.join b c))
+        (Regions.join (Regions.join a b) c))
+
+let prop_regions_join_idem_bounds =
+  QCheck2.Test.make ~name:"regions: join idempotent and an upper bound"
+    ~count:300
+    QCheck2.Gen.(pair region_gen region_gen)
+    (fun (a, b) ->
+      Regions.equal (Regions.join a a) a
+      && Regions.leq a (Regions.join a b)
+      && Regions.leq b (Regions.join a b)
+      && Regions.leq (Regions.meet a b) a)
+
+let prop_regions_widen_terminates =
+  QCheck2.Test.make ~name:"regions: widening chains terminate" ~count:200
+    QCheck2.Gen.(list_size (int_range 1 30) region_gen)
+    (fun steps ->
+      (* Sweep r := widen r (join r s) over the increment stream until a
+         whole pass changes nothing: the hull collapse and bound jumps
+         must force a fixpoint in a handful of passes, never [budget]. *)
+      let budget = 32 in
+      let rec fix r n =
+        let r', changed =
+          List.fold_left
+            (fun (r, changed) s ->
+              let r' = Regions.widen r (Regions.join r s) in
+              if Regions.equal r' r then (r, changed)
+              else if Regions.leq r r' then (r', true)
+              else raise Exit (* widening must be increasing *))
+            (r, false) steps
+        in
+        if not changed then true else n < budget && fix r' (n + 1)
+      in
+      try fix Regions.bot 0 with Exit -> false)
+
 let engine_preflight_accepts_shipped () =
   let attrs = Attrs.create ~n_stmts:2 in
   check_int "no diagnostics" 0 (List.length (Engine.preflight attrs));
@@ -306,5 +447,15 @@ let suites =
         Alcotest.test_case "calls kill facts" `Quick residual_calls_kill_facts ] );
     ( "lint-report",
       [ Alcotest.test_case "grouped report" `Quick finding_report_groups;
+        Alcotest.test_case "dedup by rule+location" `Quick finding_dedup;
         Alcotest.test_case "engine preflight" `Quick
-          engine_preflight_accepts_shipped ] ) ]
+          engine_preflight_accepts_shipped ] );
+    ( "lattice-properties",
+      [ QCheck_alcotest.to_alcotest prop_effects_join_comm;
+        QCheck_alcotest.to_alcotest prop_effects_join_assoc;
+        QCheck_alcotest.to_alcotest prop_effects_join_idem;
+        QCheck_alcotest.to_alcotest prop_effects_join_absorbs;
+        QCheck_alcotest.to_alcotest prop_regions_join_comm;
+        QCheck_alcotest.to_alcotest prop_regions_join_assoc;
+        QCheck_alcotest.to_alcotest prop_regions_join_idem_bounds;
+        QCheck_alcotest.to_alcotest prop_regions_widen_terminates ] ) ]
