@@ -53,9 +53,13 @@ let list_cmd =
   Cmd.v (Cmd.info "list" ~doc) Term.(const list $ const ())
 
 let micro_cmd =
-  let micro () = Micro.run Format.std_formatter in
+  let quota_arg =
+    let doc = "Sampling budget per test in seconds." in
+    Arg.(value & opt float 0.25 & info [ "quota" ] ~docv:"SECONDS" ~doc)
+  in
+  let micro quota = Micro.run ~quota Format.std_formatter in
   let doc = "run the Bechamel micro-benchmarks" in
-  Cmd.v (Cmd.info "micro" ~doc) Term.(const micro $ const ())
+  Cmd.v (Cmd.info "micro" ~doc) Term.(const micro $ quota_arg)
 
 let crash_cmd =
   let open Ickpt_faultsim in
@@ -173,6 +177,83 @@ let barrier_cmd =
     (Cmd.info "barrier" ~doc)
     Term.(ret (const barrier $ files_arg $ out_arg $ repeats_arg))
 
+let dedup_cmd =
+  let files_arg =
+    let doc =
+      "Mini-C workloads to store in full-checkpointing mode (default: the \
+       built-in image and small generator programs)."
+    in
+    Arg.(value & pos_all file [] & info [] ~docv:"FILE" ~doc)
+  in
+  let out_arg =
+    let doc = "Write the rows as JSON (the BENCH_5.json document) to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "o"; "json" ] ~docv:"PATH" ~doc)
+  in
+  let repeats_arg =
+    let doc = "Restore timings per row; the fastest run is kept." in
+    Arg.(value & opt int 3 & info [ "repeats" ] ~docv:"N" ~doc)
+  in
+  let epochs_arg =
+    let doc = "Incremental epochs in the long pagerank-style run." in
+    Arg.(value & opt int 120 & info [ "epochs" ] ~docv:"N" ~doc)
+  in
+  let pages_arg =
+    let doc = "Pages in the long pagerank-style run." in
+    Arg.(value & opt int 300 & info [ "pages" ] ~docv:"N" ~doc)
+  in
+  let dedup files out repeats epochs pages =
+    let load path =
+      let ic = open_in_bin path in
+      let src =
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      match Minic.Parser.parse src with
+      | program -> (Filename.remove_extension (Filename.basename path), program)
+      | exception Minic.Parser.Parse_error { line; message } ->
+          Printf.eprintf "%s:%d: %s\n" path line message;
+          exit 2
+      | exception Minic.Lexer.Lex_error { line; col; message } ->
+          Printf.eprintf "%s:%d:%d: %s\n" path line col message;
+          exit 2
+    in
+    let workloads =
+      match files with
+      | [] ->
+          [ ("image", Minic.Gen.image_program ());
+            ("small", Minic.Gen.small_program ()) ]
+      | fs -> List.map load fs
+    in
+    let rows =
+      Ablation_dedup.measure_engine ~repeats workloads
+      @ [ Ablation_dedup.measure_pagerank ~repeats ~epochs ~pages () ]
+    in
+    let ppf = Format.std_formatter in
+    Ablation_dedup.pp_table ppf rows;
+    let checks = Ablation_dedup.checks rows in
+    Workload.pp_checks ppf checks;
+    (match out with
+    | None -> ()
+    | Some path ->
+        let oc = open_out_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () -> output_string oc (Ablation_dedup.json rows));
+        Format.fprintf ppf "wrote %s@." path);
+    if Workload.all_ok checks then `Ok ()
+    else `Error (false, "dedup-store ablation checks failed")
+  in
+  let doc =
+    "measure chunk dedup and O(live) epoch restore of the content-addressed \
+     store against plain chain replay"
+  in
+  Cmd.v
+    (Cmd.info "dedup" ~doc)
+    Term.(
+      ret (const dedup $ files_arg $ out_arg $ repeats_arg $ epochs_arg
+           $ pages_arg))
+
 let () =
   let doc =
     "benchmark harness for the incremental-checkpointing reproduction"
@@ -180,4 +261,5 @@ let () =
   let info = Cmd.info "ickpt_bench" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
-       (Cmd.group info [ run_cmd; list_cmd; micro_cmd; crash_cmd; barrier_cmd ]))
+       (Cmd.group info
+          [ run_cmd; list_cmd; micro_cmd; crash_cmd; barrier_cmd; dedup_cmd ]))

@@ -26,14 +26,20 @@ let next_seq t = t.next_seq
 let next_kind_is_full t = t.segments = []
 
 let append t seg =
-  if seg.Segment.seq <> t.next_seq then
-    invalid "segment seq %d, expected %d" seg.Segment.seq t.next_seq;
-  (match seg.Segment.kind with
-  | Segment.Incremental when t.segments = [] ->
+  (match seg.Segment.kind, t.segments with
+  | Segment.Incremental, [] ->
       invalid "incremental checkpoint with no full base"
-  | Segment.Incremental | Segment.Full -> ());
+  | Segment.Full, [] ->
+      (* A Full segment is self-contained, so it may start a chain at any
+         sequence number — the store resumes from its oldest retained epoch
+         after GC has dropped earlier ones. The chain adopts its seq. *)
+      if seg.Segment.seq < 0 then
+        invalid "segment seq %d is negative" seg.Segment.seq
+  | (Segment.Incremental | Segment.Full), _ :: _ ->
+      if seg.Segment.seq <> t.next_seq then
+        invalid "segment seq %d, expected %d" seg.Segment.seq t.next_seq);
   t.segments <- seg :: t.segments;
-  t.next_seq <- t.next_seq + 1
+  t.next_seq <- seg.Segment.seq + 1
 
 let take ~kind runner t roots =
   let stats = Checkpointer.fresh_stats () in

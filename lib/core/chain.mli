@@ -32,7 +32,11 @@ val take_incremental : t -> Model.obj list -> taken
 
 val append : t -> Segment.t -> unit
 (** Append an externally produced segment (e.g. built by a specialized
-    checkpointing routine). Validates kind/sequence.
+    checkpointing routine). Validates kind/sequence. On an empty chain a
+    {e Full} segment is accepted at any (non-negative) sequence number and
+    the chain adopts it — a full is self-contained, and the chunk store
+    resumes from its oldest retained epoch after GC has dropped earlier
+    ones. All subsequent segments must be contiguous.
     @raise Invalid on a sequence gap or a baseless incremental. *)
 
 val next_seq : t -> int

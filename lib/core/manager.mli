@@ -17,16 +17,39 @@ open Ickpt_runtime
 
 type t
 
+type external_sink = {
+  sink_append : Segment.t -> unit;
+      (** persist one segment; durable when it returns *)
+  sink_resume : unit -> Segment.t list;
+      (** a restorable oldest-first suffix of what is persisted (must start
+          with a full segment; may start at any sequence number) *)
+  sink_compact : (unit -> unit) option;
+      (** reclaim space, if the sink supports it; [sink_resume] afterwards
+          reflects what survived *)
+}
+(** A pluggable persistence backend. The manager stays ignorant of what is
+    behind it — the content-addressed store ([Ickpt_cas.Store.manager_sink])
+    is the main implementation, but tests plug in plain closures. *)
+
 val create :
   ?vfs:Vfs.t -> ?policy:Policy.t -> ?async:bool -> ?compact_above:int ->
-  Schema.t -> path:string -> t
+  ?sink:external_sink -> Schema.t -> path:string -> t
 (** Defaults: [vfs = Vfs.real], [policy = Incremental_after_base],
     [async = false] (each checkpoint is on disk when [checkpoint] returns),
     [compact_above = 0] meaning never auto-compact; a positive value
     compacts the on-disk chain whenever it exceeds that many segments. If
     [path] already holds a valid chain prefix, the manager resumes its
     sequence numbering from it; a torn tail left by a crash is truncated
-    away before the first new append, so the resumed log stays readable. *)
+    away before the first new append, so the resumed log stays readable. A
+    stale staged temp file ({!Storage.temp_of}[ ~path]) left by a crash
+    mid-compaction is removed.
+
+    With [?sink], persistence is delegated entirely to the external sink:
+    the log file at [path] is never written, the chain resumes from
+    [sink_resume] (adopting its sequence numbering), [async] is ignored
+    (external appends are synchronous), and auto-compaction is disabled —
+    [compact_now] delegates to [sink_compact], which preserves sequence
+    numbering instead of restarting it at 0. *)
 
 val checkpoint : t -> Model.obj list -> Chain.taken
 (** Take a checkpoint of the roots using the policy-selected kind and
@@ -48,7 +71,9 @@ val flush : t -> unit
 (** Wait for queued segments to hit the disk (no-op when synchronous). *)
 
 val compact_now : t -> unit
-(** Recover, rewrite as one full segment, truncate the log to it. *)
+(** Recover, rewrite as one full segment, truncate the log to it. With an
+    external sink: run its [sink_compact] (if any) and re-resume the chain
+    from the sink — sequence numbering is preserved, not restarted. *)
 
 val close : t -> unit
 

@@ -36,6 +36,32 @@ let records_of_body schema body =
   in
   go []
 
+(* Framing-only walk: same decoding as [read_record] but the field values
+   are discarded, so chunking a body costs varint skipping, not arrays. *)
+let scan_body schema body =
+  let inp = In_stream.of_string body in
+  let rec go acc =
+    if In_stream.at_end inp then List.rev acc
+    else begin
+      let start = In_stream.pos inp in
+      let rec_id = In_stream.read_int inp in
+      let rec_kid = In_stream.read_int inp in
+      let klass =
+        match Schema.find schema rec_kid with
+        | k -> k
+        | exception Not_found ->
+            error "unknown class id %d in record %d" rec_kid rec_id
+      in
+      for _ = 1 to klass.Model.n_ints + klass.Model.n_children do
+        ignore (In_stream.read_int inp)
+      done;
+      go ((rec_id, start, In_stream.pos inp - start) :: acc)
+    end
+  in
+  go []
+
+let record_at schema s ~pos = read_record schema (In_stream.of_string_at s ~pos)
+
 type table = (int, record) Hashtbl.t
 
 let empty_table () : table = Hashtbl.create 1024
@@ -46,6 +72,8 @@ let apply_segment schema (table : table) seg =
     let r = read_record schema inp in
     Hashtbl.replace table r.rec_id r
   done
+
+let add_record (table : table) r = Hashtbl.replace table r.rec_id r
 
 let table_size = Hashtbl.length
 

@@ -29,12 +29,27 @@ type record = {
 val records_of_body : Schema.t -> string -> record list
 (** Decode a segment body, in write order. *)
 
+val scan_body : Schema.t -> string -> (int * int * int) list
+(** The framing of a body without its contents: one [(rec_id, offset,
+    length)] per record, in write order. This is what the chunk store
+    aligns its chunk boundaries on.
+    @raise Error on an unknown class id. *)
+
+val record_at : Schema.t -> string -> pos:int -> record
+(** Decode the single record starting at [pos] — the point lookup a
+    per-object directory entry resolves to. *)
+
 type table
 (** Accumulated newest-wins record table. *)
 
 val empty_table : unit -> table
 
 val apply_segment : Schema.t -> table -> Segment.t -> unit
+
+val add_record : table -> record -> unit
+(** Newest-wins insertion of a single record, as {!apply_segment} does for
+    each record of a body — the entry point for callers that fetch records
+    individually (the content-addressed store's O(live) restore). *)
 
 val table_size : table -> int
 

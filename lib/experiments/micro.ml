@@ -87,13 +87,13 @@ let tests () =
       synth_test ~name:"table2-native-spec" ~last_only:false (fun t ->
           spec (Synth.shape_modified_lists t)) ]
 
-let run ppf =
+let run ?(quota = 0.25) ppf =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
   let instance = Toolkit.Instance.monotonic_clock in
   let cfg =
-    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~stabilize:true ()
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~stabilize:true ()
   in
   let raw = Benchmark.all cfg [ instance ] (tests ()) in
   let results = Analyze.all ols instance raw in

@@ -7,5 +7,7 @@
 val tests : unit -> Bechamel.Test.t
 (** The grouped test suite. *)
 
-val run : Format.formatter -> unit
-(** Benchmark {!tests} and print the per-run OLS estimates. *)
+val run : ?quota:float -> Format.formatter -> unit
+(** Benchmark {!tests} and print the per-run OLS estimates. [quota] is
+    the sampling budget per test in seconds (default 0.25); smoke runs
+    pass a small value. *)

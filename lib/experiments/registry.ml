@@ -23,7 +23,10 @@ let all =
       run = Ablation_crash.run };
     { name = Ablation_barrier.name;
       title = Ablation_barrier.title;
-      run = Ablation_barrier.run } ]
+      run = Ablation_barrier.run };
+    { name = Ablation_dedup.name;
+      title = Ablation_dedup.title;
+      run = Ablation_dedup.run } ]
 
 let find name = List.find_opt (fun e -> e.name = name) all
 

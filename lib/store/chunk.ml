@@ -1,0 +1,29 @@
+open Ickpt_core
+
+type t = {
+  key : int;
+  data : string;
+  records : (int * int) list;
+}
+
+let default_records_per_chunk = 16
+
+let key_of s = Ickpt_stream.Hash64.string s
+
+let split ?(records_per_chunk = default_records_per_chunk) schema body =
+  if records_per_chunk < 1 then invalid_arg "Chunk.split: records_per_chunk";
+  let frames = Restore.scan_body schema body in
+  let rec chunks frames acc =
+    match frames with
+    | [] -> List.rev acc
+    | (_, start, _) :: _ ->
+        let rec take n stop recs = function
+          | (id, off, len) :: rest when n < records_per_chunk ->
+              take (n + 1) (off + len) ((id, off - start) :: recs) rest
+          | rest -> (stop, List.rev recs, rest)
+        in
+        let stop, records, rest = take 0 start [] frames in
+        let data = String.sub body start (stop - start) in
+        chunks rest ({ key = key_of data; data; records } :: acc)
+  in
+  chunks frames []

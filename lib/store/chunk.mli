@@ -1,0 +1,34 @@
+(** Splitting segment bodies into content-addressed chunks.
+
+    A chunk is a run of consecutive {e whole} object records from one
+    segment body — boundaries always fall on record boundaries, never
+    inside one. Boundaries are placed every [records_per_chunk] records
+    (counted from the start of the body), so two bodies that share a run of
+    identical records at the same record index produce byte-identical
+    chunks there even when earlier records changed length (varints make
+    byte-offset-based chunking useless for dedup; record-index-based
+    chunking is stable).
+
+    The chunk key is the {!Ickpt_stream.Hash64} of the chunk bytes — equal
+    bytes always give equal keys, which is what the store dedups on. *)
+
+type t = {
+  key : int;  (** {!Ickpt_stream.Hash64.string} of [data] *)
+  data : string;  (** the chunk bytes: whole records, concatenated *)
+  records : (int * int) list;
+      (** [(rec_id, offset of the record within data)], in write order *)
+}
+
+val default_records_per_chunk : int
+(** 16 — small enough that a localized mutation dirties one or two chunks,
+    large enough that per-chunk framing overhead stays a few percent. *)
+
+val key_of : string -> int
+(** The content key of raw chunk bytes (= {!Ickpt_stream.Hash64.string}). *)
+
+val split :
+  ?records_per_chunk:int -> Ickpt_runtime.Schema.t -> string -> t list
+(** Split a segment body. The empty body yields [[]]; every other body
+    yields chunks whose [data] concatenates back to the body.
+    @raise Invalid_argument if [records_per_chunk < 1].
+    @raise Ickpt_core.Restore.Error on an unknown class id in the body. *)

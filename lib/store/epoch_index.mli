@@ -1,0 +1,60 @@
+(** The persistent epoch index: one append-only file of checksummed entries,
+    one per checkpoint epoch. An entry records everything needed to
+    materialize or diff its epoch without replaying the segment chain:
+
+    - the ordered list of chunk keys whose bodies concatenate to the
+      epoch's segment body;
+    - a {e directory delta}: for every object record written in this epoch,
+      the record id and its position ([chunk index in this entry] ×
+      [byte offset within the chunk]). Folding directory deltas
+      newest-wins from the nearest full epoch yields the per-object
+      directory of any epoch.
+
+    Wire layout of one entry:
+    {v
+    magic   fixed32  "ICKX"
+    version byte
+    epoch   varint
+    kind    byte     0 = full, 1 = incremental (as Segment)
+    nroots  varint   then that many root-id varints
+    nchunks varint   then that many chunk-key varints
+    ndir    varint   then ndir triples (id, chunk, off) of varints
+    crc     fixed32  CRC-32 of everything above
+    v}
+
+    Appending an entry (write + sync) is the {e commit point} of an epoch:
+    chunks are appended to the pack first, so a crash between the two
+    leaves orphaned chunks (reclaimed by the next GC) but never a
+    committed epoch with missing data. A torn tail is truncated on load. *)
+
+open Ickpt_core
+
+type dir_entry = {
+  d_id : int;  (** object record id *)
+  d_chunk : int;  (** index into the entry's [chunks] list *)
+  d_off : int;  (** byte offset of the record within that chunk *)
+}
+
+type entry = {
+  epoch : int;
+  kind : Segment.kind;
+  roots : int list;
+  chunks : int list;  (** chunk keys, in body order *)
+  dir : dir_entry list;  (** directory delta, in record write order *)
+}
+
+val encode : entry -> string
+
+val load : Vfs.t -> string -> entry list * int
+(** Every intact entry (file order) and the byte offset of the first
+    undecodable one — the safe truncation point. A missing file is the
+    empty index. Performs no writes; the caller decides whether to
+    truncate. *)
+
+val append : Vfs.t -> string -> entry -> unit
+(** Append one entry and sync — the epoch's commit point. *)
+
+val write_staged : Vfs.t -> path:string -> entry list -> string
+(** Write a fresh index holding exactly [entries] to the staging path
+    ({!Ickpt_core.Storage.temp_of}[ ~path]), sync it, and return that
+    path. Used by GC; the caller commits by renaming over [path]. *)

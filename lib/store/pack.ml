@@ -1,0 +1,139 @@
+open Ickpt_core
+open Ickpt_stream
+
+let magic = 0x4b504349 (* "ICPK" read as LE bytes; value is arbitrary *)
+
+let version = 1
+
+type t = {
+  vfs : Vfs.t;
+  file : string;
+  mutable data : string;  (* intact prefix of the file *)
+  tbl : (int, int * int) Hashtbl.t;  (* key -> (body offset, body len) *)
+  mutable order : int list;  (* keys, reverse append order *)
+}
+
+let encode_frame key body =
+  let d = Out_stream.create ~initial_size:(String.length body + 32) () in
+  Out_stream.write_fixed32 d magic;
+  Out_stream.write_byte d version;
+  Out_stream.write_int d key;
+  Out_stream.write_string d body;
+  let crc = Crc32.string (Out_stream.contents d) in
+  Out_stream.write_fixed32 d crc;
+  Out_stream.contents d
+
+(* Decode one frame at [pos]; returns (key, body offset, body len, end pos).
+   Raises In_stream.Corrupt on anything short of an intact frame. *)
+let decode_frame s ~pos =
+  let inp = In_stream.of_string_at s ~pos in
+  let m = In_stream.read_fixed32 inp in
+  if m <> magic then
+    raise (In_stream.Corrupt (Printf.sprintf "bad pack magic %#x at %d" m pos));
+  let v = In_stream.read_byte inp in
+  if v <> version then
+    raise (In_stream.Corrupt (Printf.sprintf "unsupported pack version %d" v));
+  let key = In_stream.read_int inp in
+  let body = In_stream.read_string inp in
+  let body_end = In_stream.pos inp in
+  let crc = In_stream.read_fixed32 inp in
+  if crc <> Crc32.sub s ~pos ~len:(body_end - pos) then
+    raise (In_stream.Corrupt (Printf.sprintf "pack crc mismatch at %d" pos));
+  (key, body_end - String.length body, String.length body, In_stream.pos inp)
+
+let load t =
+  Hashtbl.reset t.tbl;
+  t.order <- [];
+  let raw = if t.vfs.Vfs.exists t.file then t.vfs.Vfs.read_file t.file else "" in
+  let len = String.length raw in
+  let rec go pos =
+    if pos >= len then pos
+    else
+      match decode_frame raw ~pos with
+      | key, off, blen, next ->
+          if not (Hashtbl.mem t.tbl key) then begin
+            Hashtbl.replace t.tbl key (off, blen);
+            t.order <- key :: t.order
+          end;
+          go next
+      | exception In_stream.Corrupt _ -> pos
+      | exception Invalid_argument _ -> pos
+  in
+  let valid = go 0 in
+  (* Cut a torn tail off before the next append, exactly as Storage does
+     for the segment log: garbage after the intact prefix would make every
+     later frame unreachable. *)
+  if valid < len then t.vfs.Vfs.truncate t.file ~len:valid;
+  t.data <- (if valid = len then raw else String.sub raw 0 valid)
+
+let open_ ?(vfs = Vfs.real) file =
+  let t = { vfs; file; data = ""; tbl = Hashtbl.create 256; order = [] } in
+  load t;
+  t
+
+let reload = load
+
+let path t = t.file
+
+let mem t key = Hashtbl.mem t.tbl key
+
+let read t key =
+  let off, len = Hashtbl.find t.tbl key in
+  String.sub t.data off len
+
+let chunk_len t key = snd (Hashtbl.find t.tbl key)
+
+let keys t = List.rev t.order
+
+let length t = Hashtbl.length t.tbl
+
+let physical_bytes t = String.length t.data
+
+let append_batch t batch =
+  match batch with
+  | [] -> 0
+  | _ ->
+      List.iter
+        (fun (key, _) ->
+          if Hashtbl.mem t.tbl key then
+            invalid_arg "Pack.append_batch: duplicate key")
+        batch;
+      let buf = Buffer.create 4096 in
+      List.iter (fun (key, body) -> Buffer.add_string buf (encode_frame key body))
+        batch;
+      let frames = Buffer.contents buf in
+      let w = t.vfs.Vfs.open_append t.file in
+      (try
+         w.Vfs.write frames;
+         w.Vfs.sync ()
+       with e ->
+         w.Vfs.close ();
+         raise e);
+      w.Vfs.close ();
+      (* Mirror the append in memory. *)
+      let base = String.length t.data in
+      t.data <- t.data ^ frames;
+      let pos = ref base in
+      List.iter
+        (fun (key, _) ->
+          let k, off, blen, next = decode_frame t.data ~pos:!pos in
+          assert (k = key);
+          Hashtbl.replace t.tbl key (off, blen);
+          t.order <- key :: t.order;
+          pos := next)
+        batch;
+      String.length frames
+
+let stage_rewrite t ~keep =
+  let tmp = Storage.temp_of ~path:t.file in
+  let w = t.vfs.Vfs.open_trunc tmp in
+  (try
+     List.iter
+       (fun key -> if keep key then w.Vfs.write (encode_frame key (read t key)))
+       (keys t);
+     w.Vfs.sync ()
+   with e ->
+     w.Vfs.close ();
+     raise e);
+  w.Vfs.close ();
+  tmp

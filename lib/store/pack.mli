@@ -1,0 +1,62 @@
+(** The chunk pack: one append-only file holding every stored chunk, each
+    in a self-describing checksummed frame (same framing discipline as
+    {!Ickpt_core.Segment}):
+
+    {v
+    magic   fixed32  "ICPK"
+    version byte
+    key     varint   content key ({!Ickpt_stream.Hash64})
+    len     varint   chunk length in bytes
+    body    bytes
+    crc     fixed32  CRC-32 of everything above
+    v}
+
+    The whole pack is mirrored in memory (packs are bounded by the store's
+    retention policy, and the repo's storage layer reads whole files
+    anyway), so chunk reads are substring extractions. A torn or corrupt
+    tail — the normal outcome of a crash mid-append — is truncated away on
+    open; anything before it is intact by CRC.
+
+    All file access goes through {!Ickpt_core.Vfs}. *)
+
+type t
+
+val open_ : ?vfs:Ickpt_core.Vfs.t -> string -> t
+(** Open (creating if missing) the pack at the given path, truncating any
+    torn tail. *)
+
+val reload : t -> unit
+(** Re-read the file and rebuild the in-memory mirror — used after a GC
+    rewrite commits. *)
+
+val path : t -> string
+
+val mem : t -> int -> bool
+
+val read : t -> int -> string
+(** Chunk body by key. @raise Not_found for an unknown key. *)
+
+val chunk_len : t -> int -> int
+(** Body length by key. @raise Not_found for an unknown key. *)
+
+val keys : t -> int list
+(** Every stored key, in append order. *)
+
+val length : t -> int
+(** Number of stored chunks. *)
+
+val physical_bytes : t -> int
+(** Bytes of intact frames on disk (frame overhead included). *)
+
+val append_batch : t -> (int * string) list -> int
+(** Append the given [(key, body)] chunks in one writer session and sync;
+    they are durable when this returns. Keys already present are a
+    programming error ({!Invalid_argument}). Returns the number of bytes
+    appended. The empty batch performs no I/O. *)
+
+val stage_rewrite : t -> keep:(int -> bool) -> string
+(** Write a pack containing only the kept chunks (in their original order)
+    to the staging path ({!Ickpt_core.Storage.temp_of}), sync it, and
+    return that path. The live pack and the in-memory mirror are not
+    touched; the caller commits by renaming the staged file over {!path}
+    and calling {!reload}. *)

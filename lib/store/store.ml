@@ -1,0 +1,470 @@
+open Ickpt_runtime
+open Ickpt_core
+
+exception Error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+let pack_path path = path ^ ".pack"
+
+let index_path path = path ^ ".idx"
+
+type t = {
+  vfs : Vfs.t;
+  root : string;
+  schema : Schema.t;
+  records_per_chunk : int;
+  pack : Pack.t;
+  mutable entries : Epoch_index.entry list;  (* oldest first *)
+}
+
+let path t = t.root
+
+let schema t = t.schema
+
+(* ------------------------------------------------------------------ *)
+(* Open: sweep, truncate, validate.                                    *)
+
+(* The index prefix made of the first [n] entries, as bytes — encoding is
+   deterministic, so this is exactly the on-disk prefix to keep when
+   validation rejects entry [n]. *)
+let entries_byte_length entries n =
+  let rec go acc i = function
+    | e :: rest when i < n ->
+        go (acc + String.length (Epoch_index.encode e)) (i + 1) rest
+    | _ -> acc
+  in
+  go 0 0 entries
+
+(* Longest valid prefix of the loaded entries: epochs contiguous, oldest
+   full, every chunk present in the pack, directory entries in range.
+   Crash-consistent operation never produces a violation (the pack is
+   synced before the entry commits), so rejections are defensive. *)
+let valid_prefix pack entries =
+  let rec go acc expected = function
+    | [] -> List.rev acc
+    | (e : Epoch_index.entry) :: rest ->
+        let ok =
+          (match expected with
+          | None -> e.kind = Segment.Full && e.epoch >= 0
+          | Some n -> e.epoch = n)
+          && List.for_all (fun k -> Pack.mem pack k) e.chunks
+          &&
+          let chunk_arr = Array.of_list e.chunks in
+          List.for_all
+            (fun { Epoch_index.d_chunk; d_off; _ } ->
+              d_chunk >= 0
+              && d_chunk < Array.length chunk_arr
+              && d_off >= 0
+              && d_off < Pack.chunk_len pack chunk_arr.(d_chunk))
+            e.dir
+        in
+        if ok then go (e :: acc) (Some (e.epoch + 1)) rest else List.rev acc
+  in
+  go [] None entries
+
+let open_ ?(vfs = Vfs.real) ?(records_per_chunk = Chunk.default_records_per_chunk)
+    schema ~path:root =
+  if records_per_chunk < 1 then invalid_arg "Store.open_: records_per_chunk";
+  let pack_file = pack_path root and index_file = index_path root in
+  (* Staged GC temps hold no committed data; a crash before the commit
+     rename leaves them behind, and reopen is where they get swept. *)
+  List.iter
+    (fun p ->
+      let tmp = Storage.temp_of ~path:p in
+      if vfs.Vfs.exists tmp then vfs.Vfs.remove tmp)
+    [ pack_file; index_file ];
+  let pack = Pack.open_ ~vfs pack_file in
+  let loaded, valid_len = Epoch_index.load vfs index_file in
+  let file_len =
+    if vfs.Vfs.exists index_file then String.length (vfs.Vfs.read_file index_file)
+    else 0
+  in
+  if valid_len < file_len then vfs.Vfs.truncate index_file ~len:valid_len;
+  let entries = valid_prefix pack loaded in
+  if List.length entries < List.length loaded then
+    vfs.Vfs.truncate index_file
+      ~len:(entries_byte_length loaded (List.length entries));
+  { vfs; root; schema; records_per_chunk; pack; entries }
+
+(* ------------------------------------------------------------------ *)
+(* Lookup helpers.                                                     *)
+
+let epochs t = List.map (fun (e : Epoch_index.entry) -> e.epoch) t.entries
+
+let latest_epoch t =
+  match List.rev t.entries with
+  | [] -> None
+  | e :: _ -> Some e.Epoch_index.epoch
+
+let entry_at t epoch =
+  match
+    List.find_opt (fun (e : Epoch_index.entry) -> e.epoch = epoch) t.entries
+  with
+  | Some e -> e
+  | None -> error "unknown epoch %d" epoch
+
+let kind_of_epoch t epoch = (entry_at t epoch).kind
+
+let roots_of_epoch t epoch = (entry_at t epoch).roots
+
+(* ------------------------------------------------------------------ *)
+(* Appending.                                                          *)
+
+type append_stats = {
+  chunks_total : int;
+  chunks_new : int;
+  bytes_logical : int;
+  bytes_written : int;
+}
+
+let append_segment t (seg : Segment.t) =
+  (match t.entries, seg.kind with
+  | [], Segment.Incremental ->
+      error "incremental segment on an empty store (no full base)"
+  | [], Segment.Full ->
+      if seg.seq < 0 then error "segment seq %d is negative" seg.seq
+  | _ :: _, _ ->
+      let latest = Option.get (latest_epoch t) in
+      if seg.seq <> latest + 1 then
+        error "segment seq %d, expected %d" seg.seq (latest + 1));
+  let chunks = Chunk.split ~records_per_chunk:t.records_per_chunk t.schema seg.body in
+  (* Dedup: a key hit is only a duplicate if the bytes agree — the 63-bit
+     hash makes a collision negligible but not impossible, and a silent one
+     would corrupt the epoch, so verify and refuse. *)
+  let in_batch : (int, string) Hashtbl.t = Hashtbl.create 16 in
+  let fresh =
+    List.filter
+      (fun (c : Chunk.t) ->
+        if Pack.mem t.pack c.key then begin
+          if not (String.equal (Pack.read t.pack c.key) c.data) then
+            error "hash collision on chunk key %s"
+              (Ickpt_stream.Hash64.to_hex c.key);
+          false
+        end
+        else
+          match Hashtbl.find_opt in_batch c.key with
+          | Some data ->
+              if not (String.equal data c.data) then
+                error "hash collision on chunk key %s"
+                  (Ickpt_stream.Hash64.to_hex c.key);
+              false
+          | None ->
+              Hashtbl.replace in_batch c.key c.data;
+              true)
+      chunks
+  in
+  let pack_bytes =
+    Pack.append_batch t.pack
+      (List.map (fun (c : Chunk.t) -> (c.key, c.data)) fresh)
+  in
+  let dir =
+    List.concat
+      (List.mapi
+         (fun i (c : Chunk.t) ->
+           List.map
+             (fun (id, off) ->
+               { Epoch_index.d_id = id; d_chunk = i; d_off = off })
+             c.records)
+         chunks)
+  in
+  let entry =
+    { Epoch_index.epoch = seg.seq;
+      kind = seg.kind;
+      roots = seg.roots;
+      chunks = List.map (fun (c : Chunk.t) -> c.key) chunks;
+      dir }
+  in
+  Epoch_index.append t.vfs (index_path t.root) entry;
+  t.entries <- t.entries @ [ entry ];
+  { chunks_total = List.length chunks;
+    chunks_new = List.length fresh;
+    bytes_logical = String.length seg.body;
+    bytes_written = pack_bytes + String.length (Epoch_index.encode entry) }
+
+(* ------------------------------------------------------------------ *)
+(* Reading.                                                            *)
+
+let segment_of_epoch t epoch =
+  let e = entry_at t epoch in
+  let body =
+    String.concat "" (List.map (fun k -> Pack.read t.pack k) e.chunks)
+  in
+  { Segment.kind = e.kind; seq = e.epoch; roots = e.roots; body }
+
+(* The resolved per-object directory at [epoch]: id -> (chunk key, byte
+   offset). Folds newest-wins from the nearest full epoch — a full's delta
+   is a complete directory by construction, so nothing older matters. *)
+let dir_at t ~epoch =
+  let e = entry_at t epoch in
+  let upto =
+    List.filter (fun (x : Epoch_index.entry) -> x.epoch <= epoch) t.entries
+  in
+  let base =
+    List.fold_left
+      (fun acc (x : Epoch_index.entry) ->
+        if x.kind = Segment.Full then x.epoch else acc)
+      e.epoch upto
+  in
+  let dir : (int, int * int) Hashtbl.t = Hashtbl.create 1024 in
+  List.iter
+    (fun (x : Epoch_index.entry) ->
+      if x.epoch >= base then begin
+        let chunk_arr = Array.of_list x.chunks in
+        List.iter
+          (fun { Epoch_index.d_id; d_chunk; d_off } ->
+            Hashtbl.replace dir d_id (chunk_arr.(d_chunk), d_off))
+          x.dir
+      end)
+    upto;
+  dir
+
+let record_of_pointer t cache (key, off) =
+  let data =
+    match Hashtbl.find_opt cache key with
+    | Some d -> d
+    | None ->
+        let d = Pack.read t.pack key in
+        Hashtbl.replace cache key d;
+        d
+  in
+  Restore.record_at t.schema data ~pos:off
+
+let restore t ~epoch =
+  let e = entry_at t epoch in
+  let dir = dir_at t ~epoch in
+  let table = Restore.empty_table () in
+  let cache = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun _id ptr -> Restore.add_record table (record_of_pointer t cache ptr))
+    dir;
+  Restore.materialize t.schema table ~roots:e.roots
+
+(* ------------------------------------------------------------------ *)
+(* Diff.                                                               *)
+
+let diff t a b =
+  let da = dir_at t ~epoch:a and db = dir_at t ~epoch:b in
+  let cache = Hashtbl.create 64 in
+  let record = record_of_pointer t cache in
+  let changes = ref [] in
+  let add c = changes := c :: !changes in
+  Hashtbl.iter
+    (fun id ptr ->
+      match Hashtbl.find_opt db id with
+      | None -> add (Diff.Removed id)
+      | Some ptr' when ptr = ptr' ->
+          (* Same chunk key and offset: the record bytes are identical by
+             content-addressing — no decode needed. This is what makes the
+             diff O(changed entries). *)
+          ()
+      | Some ptr' ->
+          let rb = record ptr and ra = record ptr' in
+          if rb.Restore.rec_kid <> ra.Restore.rec_kid then
+            add
+              (Diff.Class_changed
+                 { id; before = rb.Restore.rec_kid; after = ra.Restore.rec_kid })
+          else begin
+            Array.iteri
+              (fun slot v ->
+                let v' = ra.Restore.rec_ints.(slot) in
+                if v <> v' then
+                  add (Diff.Int_changed { id; slot; before = v; after = v' }))
+              rb.Restore.rec_ints;
+            Array.iteri
+              (fun slot v ->
+                let v' = ra.Restore.rec_child_ids.(slot) in
+                if v <> v' then
+                  add (Diff.Child_changed { id; slot; before = v; after = v' }))
+              rb.Restore.rec_child_ids
+          end)
+    da;
+  Hashtbl.iter
+    (fun id _ -> if not (Hashtbl.mem da id) then add (Diff.Added id))
+    db;
+  let key = function
+    | Diff.Added id | Diff.Removed id -> (id, -1)
+    | Diff.Class_changed { id; _ } -> (id, -2)
+    | Diff.Int_changed { id; slot; _ } -> (id, slot)
+    | Diff.Child_changed { id; slot; _ } -> (id, 1000 + slot)
+  in
+  List.sort (fun x y -> compare (key x) (key y)) !changes
+
+(* ------------------------------------------------------------------ *)
+(* Space: refcounts, GC, stats, check.                                 *)
+
+let refcounts t =
+  let counts : (int, int) Hashtbl.t = Hashtbl.create 256 in
+  List.iter (fun k -> Hashtbl.replace counts k 0) (Pack.keys t.pack);
+  List.iter
+    (fun (e : Epoch_index.entry) ->
+      (* A chunk referenced twice by one epoch still counts that epoch
+         once per reference site — refcounts answer "how many references
+         keep this chunk alive". *)
+      List.iter
+        (fun k ->
+          Hashtbl.replace counts k (1 + Option.value ~default:0 (Hashtbl.find_opt counts k)))
+        e.chunks)
+    t.entries;
+  List.map (fun k -> (k, Hashtbl.find counts k)) (Pack.keys t.pack)
+
+type retention = Keep_all | Keep_last of int | Keep_from of int
+
+type gc_stats = {
+  dropped_epochs : int;
+  dropped_chunks : int;
+  reclaimed_bytes : int;
+}
+
+let no_gc = { dropped_epochs = 0; dropped_chunks = 0; reclaimed_bytes = 0 }
+
+let gc t ~retain =
+  match t.entries with
+  | [] -> no_gc
+  | oldest :: _ ->
+      let latest = Option.get (latest_epoch t) in
+      let floor =
+        match retain with
+        | Keep_all -> oldest.Epoch_index.epoch
+        | Keep_last n ->
+            if n < 1 then error "gc: Keep_last %d (need >= 1)" n;
+            max oldest.Epoch_index.epoch (latest - n + 1)
+        | Keep_from e -> max oldest.Epoch_index.epoch (min e latest)
+      in
+      (* Widen down to the nearest full epoch so every retained epoch keeps
+         a restorable base. *)
+      let base =
+        List.fold_left
+          (fun acc (e : Epoch_index.entry) ->
+            if e.kind = Segment.Full && e.epoch <= floor then e.epoch else acc)
+          oldest.Epoch_index.epoch t.entries
+      in
+      let kept =
+        List.filter (fun (e : Epoch_index.entry) -> e.epoch >= base) t.entries
+      in
+      let kept_keys : (int, unit) Hashtbl.t = Hashtbl.create 256 in
+      List.iter
+        (fun (e : Epoch_index.entry) ->
+          List.iter (fun k -> Hashtbl.replace kept_keys k ()) e.chunks)
+        kept;
+      let dropped_chunks =
+        List.length (List.filter (fun k -> not (Hashtbl.mem kept_keys k)) (Pack.keys t.pack))
+      in
+      let dropped_epochs = List.length t.entries - List.length kept in
+      if dropped_epochs = 0 && dropped_chunks = 0 then no_gc
+      else begin
+        let old_bytes = Pack.physical_bytes t.pack in
+        let pack_file = pack_path t.root and index_file = index_path t.root in
+        let pack_tmp = Pack.stage_rewrite t.pack ~keep:(Hashtbl.mem kept_keys) in
+        let idx_tmp = Epoch_index.write_staged t.vfs ~path:index_file kept in
+        (* Commit order matters: the index first. Until the pack rename the
+           pack is the OLD one — a superset of the new — so whichever index
+           a crash leaves current, its chunks resolve. Renaming the pack
+           first would let a crash strand the old index pointing at dropped
+           chunks. *)
+        t.vfs.Vfs.rename ~src:idx_tmp ~dst:index_file;
+        t.vfs.Vfs.rename ~src:pack_tmp ~dst:pack_file;
+        Pack.reload t.pack;
+        t.entries <- kept;
+        { dropped_epochs;
+          dropped_chunks;
+          reclaimed_bytes = old_bytes - Pack.physical_bytes t.pack }
+      end
+
+type stats = {
+  n_epochs : int;
+  n_chunks : int;
+  logical_bytes : int;
+  physical_bytes : int;
+  dedup_ratio : float;
+}
+
+let stats t =
+  let logical_bytes =
+    List.fold_left
+      (fun acc (e : Epoch_index.entry) ->
+        List.fold_left (fun acc k -> acc + Pack.chunk_len t.pack k) acc e.chunks)
+      0 t.entries
+  in
+  let index_bytes =
+    List.fold_left
+      (fun acc e -> acc + String.length (Epoch_index.encode e))
+      0 t.entries
+  in
+  let pack_bytes = Pack.physical_bytes t.pack in
+  { n_epochs = List.length t.entries;
+    n_chunks = Pack.length t.pack;
+    logical_bytes;
+    physical_bytes = pack_bytes + index_bytes;
+    dedup_ratio =
+      (if pack_bytes = 0 then 1.0
+       else float_of_int logical_bytes /. float_of_int pack_bytes) }
+
+let check t =
+  let errs = ref [] in
+  let err fmt = Format.kasprintf (fun s -> errs := s :: !errs) fmt in
+  (match t.entries with
+  | [] -> ()
+  | first :: _ ->
+      if first.kind <> Segment.Full then
+        err "oldest epoch %d is not full" first.Epoch_index.epoch);
+  let expected = ref None in
+  List.iter
+    (fun (e : Epoch_index.entry) ->
+      (match !expected with
+      | Some n when e.epoch <> n -> err "epoch %d follows %d" e.epoch (n - 1)
+      | _ -> ());
+      expected := Some (e.epoch + 1);
+      let chunk_arr = Array.of_list e.chunks in
+      Array.iteri
+        (fun i k ->
+          if not (Pack.mem t.pack k) then
+            err "epoch %d references missing chunk %s" e.epoch
+              (Ickpt_stream.Hash64.to_hex k)
+          else if Chunk.key_of (Pack.read t.pack k) <> k then
+            err "chunk %s content does not match its key"
+              (Ickpt_stream.Hash64.to_hex k)
+          else ignore i)
+        chunk_arr;
+      List.iter
+        (fun { Epoch_index.d_id; d_chunk; d_off } ->
+          if d_chunk < 0 || d_chunk >= Array.length chunk_arr then
+            err "epoch %d: record %d points at chunk index %d/%d" e.epoch d_id
+              d_chunk (Array.length chunk_arr)
+          else
+            let k = chunk_arr.(d_chunk) in
+            if
+              Pack.mem t.pack k
+              && (d_off < 0 || d_off >= Pack.chunk_len t.pack k)
+            then err "epoch %d: record %d offset %d out of range" e.epoch d_id d_off)
+        e.dir)
+    t.entries;
+  List.iter
+    (fun (k, n) ->
+      if n < 0 then
+        err "chunk %s has negative refcount" (Ickpt_stream.Hash64.to_hex k))
+    (refcounts t);
+  List.rev !errs
+
+(* ------------------------------------------------------------------ *)
+(* Manager integration.                                                *)
+
+let resume_suffix t =
+  match latest_epoch t with
+  | None -> []
+  | Some latest ->
+      let base =
+        List.fold_left
+          (fun acc (e : Epoch_index.entry) ->
+            if e.kind = Segment.Full then e.epoch else acc)
+          latest t.entries
+      in
+      List.filter_map
+        (fun (e : Epoch_index.entry) ->
+          if e.epoch >= base then Some (segment_of_epoch t e.epoch) else None)
+        t.entries
+
+let manager_sink t =
+  { Manager.sink_append = (fun seg -> ignore (append_segment t seg));
+    sink_resume = (fun () -> resume_suffix t);
+    sink_compact = Some (fun () -> ignore (gc t ~retain:(Keep_last 1))) }

@@ -1,0 +1,27 @@
+(* FNV-1a over bytes, with the standard 64-bit parameters. Native-int
+   multiplication wraps mod 2^63 (on 64-bit platforms), which simply folds
+   the top bit away; the result keeps FNV's distribution properties at 63
+   bits and stays an immediate (unboxed) value — keys go straight into
+   Hashtbls and varints. *)
+
+(* 0xcbf29ce484222325 exceeds max_int, so it is written as an Int64 and
+   truncated; Int64.to_int keeps the low 63 bits, which is exactly the
+   mod-2^63 fold the rest of the arithmetic performs anyway. *)
+let init = Int64.to_int 0xcbf29ce484222325L
+
+let prime = 0x100000001b3
+
+let sub ?(h = init) s ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > String.length s then
+    invalid_arg "Hash64.sub";
+  let h = ref h in
+  for i = pos to pos + len - 1 do
+    h := (!h lxor Char.code (String.unsafe_get s i)) * prime
+  done;
+  !h
+
+let string ?h s = sub ?h s ~pos:0 ~len:(String.length s)
+
+let bytes ?h b = string ?h (Bytes.unsafe_to_string b)
+
+let to_hex k = Printf.sprintf "%016x" k

@@ -248,9 +248,20 @@ let chain_requires_full_base () =
 let chain_seq_validation () =
   let env = make_env () in
   let chain = Chain.create env.schema in
+  (* A full may START a chain at any sequence number (a store resumes from
+     its oldest retained epoch after GC) — the chain adopts its seq... *)
   let seg = { Segment.kind = Segment.Full; seq = 5; roots = []; body = "" } in
-  match Chain.append chain seg with
+  Chain.append chain seg;
+  Alcotest.(check int) "chain adopts the full's seq" 6 (Chain.next_seq chain);
+  (* ...but later segments must stay contiguous. *)
+  let gap = { Segment.kind = Segment.Full; seq = 8; roots = []; body = "" } in
+  (match Chain.append chain gap with
   | _ -> Alcotest.fail "sequence gap accepted"
+  | exception Chain.Invalid _ -> ());
+  (* And a negative starting seq is rejected. *)
+  let neg = { Segment.kind = Segment.Full; seq = -1; roots = []; body = "" } in
+  match Chain.append (Chain.create env.schema) neg with
+  | _ -> Alcotest.fail "negative seq accepted"
   | exception Chain.Invalid _ -> ()
 
 let chain_recover_matches_live () =
