@@ -1,6 +1,6 @@
 (* Static verification of specialization classes and residual code.
 
-   Three subcommands, all running before any heap exists:
+   Four subcommands, all running before any heap exists:
 
    - [lint] (the default): effect inference over the workload program,
      spec-lint of the three shipped phase declarations against the
@@ -19,7 +19,18 @@
      compiled out) and how much of the runtime guard is discharged.
      [--oracle] re-verifies the plans dynamically (byte identity and
      invariant I8); [--seed-unsound] demonstrates the refusal on a wrong
-     declaration.
+     declaration;
+   - [infer]: fully automatic checkpoint inference on an annotation-free
+     program — discovered phases, inferred heap shapes, per-phase
+     effects, a translation-validation verdict for every synthesized
+     checkpointer (non-verified = hard error, never a silent generic
+     fallback), and the inferred barrier-elision plan. [--oracle] runs
+     the differential oracle on the inferred pipeline; [--seed-unsound]
+     mutates a synthesized shape before validation and demonstrates the
+     refusal.
+
+   All subcommands share one [--json] envelope: top-level [tool],
+   [subcommand], [errors], [warnings], [findings] and [exit_code].
 
    Exit codes (uniform across all subcommands): 0 — clean; 1 —
    error-severity findings (unsound declaration, refuted residual code,
@@ -80,43 +91,12 @@ let phase_shapes attrs =
 
 (* ---- JSON output ---------------------------------------------------------- *)
 
-let json_escape s =
-  let buf = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
-
-let finding_json (f : Staticcheck.Finding.t) =
-  Printf.sprintf {|{"severity":"%s","scope":"%s","path":"%s","reason":"%s"}|}
-    (Staticcheck.Finding.severity_name f.Staticcheck.Finding.severity)
-    (json_escape f.Staticcheck.Finding.scope)
-    (json_escape f.Staticcheck.Finding.path)
-    (json_escape f.Staticcheck.Finding.reason)
-
-(* The whole result as one JSON object: counts, the findings, and (for
-   verify) the proven shapes. *)
-let print_json ?(verified = []) findings =
-  let verified_json (shape, stage, vars, paths) =
-    Printf.sprintf {|{"shape":"%s","stage":"%s","vars":%d,"paths":%d}|}
-      (json_escape shape) (json_escape stage) vars paths
-  in
-  Printf.printf {|{"errors":%d,"warnings":%d,"findings":[%s]%s}|}
-    (Staticcheck.Finding.count Staticcheck.Finding.Error findings)
-    (Staticcheck.Finding.count Staticcheck.Finding.Warning findings)
-    (String.concat "," (List.map finding_json findings))
-    (if verified = [] then ""
-     else
-       Printf.sprintf {|,"verified":[%s]|}
-         (String.concat "," (List.map verified_json verified)));
-  print_newline ()
+(* Every subcommand emits the same envelope (Staticcheck.Finding.envelope):
+   the exit code is computed first, printed inside the JSON, and then
+   used to exit — so a parser never has to re-derive severity. *)
+let print_envelope ~subcommand ?extra ~exit_code findings =
+  print_endline
+    (Staticcheck.Finding.envelope ~subcommand ?extra ~exit_code findings)
 
 (* ---- lint (default subcommand) ------------------------------------------- *)
 
@@ -181,9 +161,10 @@ let run_lint file workload seed_unsound no_effects json =
   let all =
     Staticcheck.Finding.sort (spec_findings @ residual_findings @ seeded_findings)
   in
-  if json then print_json all
+  let exit_code = if Staticcheck.Finding.has_errors all then 1 else 0 in
+  if json then print_envelope ~subcommand:"lint" ~exit_code all
   else Format.printf "%a@." Staticcheck.Finding.pp_report all;
-  if Staticcheck.Finding.has_errors all then exit 1
+  if exit_code <> 0 then exit exit_code
 
 (* ---- verify --------------------------------------------------------------- *)
 
@@ -275,10 +256,25 @@ let run_verify file workload seed_miscompile max_vars json =
         !rejected !escaped
   end;
   let findings = Staticcheck.Finding.sort !findings in
-  if json then print_json ~verified:(List.rev !verified) findings
+  let exit_code = if Staticcheck.Finding.has_errors findings then 1 else 0 in
+  if json then begin
+    let verified_json (shape, stage, vars, paths) =
+      Printf.sprintf {|{"shape":"%s","stage":"%s","vars":%d,"paths":%d}|}
+        (Staticcheck.Finding.json_escape shape)
+        (Staticcheck.Finding.json_escape stage)
+        vars paths
+    in
+    let verified =
+      Printf.sprintf "[%s]"
+        (String.concat "," (List.map verified_json (List.rev !verified)))
+    in
+    print_envelope ~subcommand:"verify"
+      ~extra:[ ("verified", verified) ]
+      ~exit_code findings
+  end
   else if findings <> [] then
     Format.printf "%a@." Staticcheck.Finding.pp_report findings;
-  if Staticcheck.Finding.has_errors findings then exit 1
+  if exit_code <> 0 then exit exit_code
 
 (* ---- elide ---------------------------------------------------------------- *)
 
@@ -344,9 +340,65 @@ let run_elide file workload seed_unsound oracle json =
     if not json then Format.printf "%a@." Elide_oracle.pp o;
     if not (Elide_oracle.ok o) then oracle_failed := true
   end;
-  if json then print_json findings
+  let exit_code =
+    if Staticcheck.Finding.has_errors findings || !oracle_failed then 1 else 0
+  in
+  if json then
+    print_envelope ~subcommand:"elide"
+      ~extra:[ ("oracle_ok", if !oracle_failed then "false" else "true") ]
+      ~exit_code findings
   else Format.printf "%a@." Staticcheck.Finding.pp_report findings;
-  if Staticcheck.Finding.has_errors findings || !oracle_failed then exit 1
+  if exit_code <> 0 then exit exit_code
+
+(* ---- infer ----------------------------------------------------------------- *)
+
+let infer_seed_unsound_arg =
+  let doc =
+    "Mutate the first synthesized shape (its first Clean node flipped to \
+     Tracked) before translation validation — the validator must refute \
+     it, an error finding must be reported, and the command must fail."
+  in
+  Arg.(value & flag & info [ "seed-unsound" ] ~doc)
+
+let infer_oracle_arg =
+  let doc =
+    "Also run the differential soundness oracle on the inferred pipeline: \
+     four annotation-free engine runs whose checkpoint chains must be \
+     byte-identical across elision and across modes, with every \
+     dynamically dirty block inside its phase's inferred may-write region \
+     (invariant I8)."
+  in
+  Arg.(value & flag & info [ "oracle" ] ~doc)
+
+let run_infer file workload seed_unsound oracle max_vars json =
+  let program = load_program file workload in
+  let env = check_program program in
+  let t = Staticcheck.Auto_spec.infer ~seed_unsound ~max_vars env in
+  let findings = Staticcheck.Auto_spec.findings t in
+  if not json then Format.printf "%a@." Staticcheck.Auto_spec.pp t;
+  let oracle_failed = ref false in
+  if oracle && not (Staticcheck.Finding.has_errors findings) then begin
+    let name =
+      match file with
+      | Some path -> Filename.basename path
+      | None -> ( match workload with `Image -> "image" | `Small -> "small")
+    in
+    let o = Elide_oracle.run_inferred ~name program in
+    if not json then Format.printf "%a@." Elide_oracle.pp o;
+    if not (Elide_oracle.ok o) then oracle_failed := true
+  end;
+  let exit_code =
+    if Staticcheck.Finding.has_errors findings || !oracle_failed then 1 else 0
+  in
+  if json then
+    print_envelope ~subcommand:"infer"
+      ~extra:
+        [ ("phases", string_of_int (List.length t.Staticcheck.Auto_spec.a_phases));
+          ( "verified_specializations",
+            string_of_int (Staticcheck.Auto_spec.verified_count t) );
+          ("oracle_ok", if !oracle_failed then "false" else "true") ]
+      ~exit_code findings;
+  if exit_code <> 0 then exit exit_code
 
 (* ---- command line --------------------------------------------------------- *)
 
@@ -372,6 +424,11 @@ let elide_term =
   Term.(
     const run_elide $ file_arg $ workload_arg $ elide_seed_unsound_arg
     $ oracle_arg $ json_arg)
+
+let infer_term =
+  Term.(
+    const run_infer $ file_arg $ workload_arg $ infer_seed_unsound_arg
+    $ infer_oracle_arg $ max_vars_arg $ json_arg)
 
 let () =
   let doc = "static lint and translation validation of specialized code" in
@@ -399,8 +456,19 @@ let () =
          ~exits)
       elide_term
   in
+  let infer_cmd =
+    Cmd.v
+      (Cmd.info "infer"
+         ~doc:
+           "fully automatic checkpoint inference: annotation-free program \
+            to verified specialized checkpointer"
+         ~exits)
+      infer_term
+  in
   let code =
-    Cmd.eval (Cmd.group ~default:lint_term info [ lint_cmd; verify_cmd; elide_cmd ])
+    Cmd.eval
+      (Cmd.group ~default:lint_term info
+         [ lint_cmd; verify_cmd; elide_cmd; infer_cmd ])
   in
   (* Normalize cmdliner's CLI-error code to the documented usage-error 2. *)
   exit (if code = Cmd.Exit.cli_error then 2 else code)

@@ -96,7 +96,7 @@ let run file mode bta_min eta_min guard chain_path dump =
         (Ickpt_core.Chain.length report.Engine.chain)
         path);
   (* Summarize the analysis results themselves. *)
-  let attrs = report.Engine.attrs in
+  let attrs = Engine.attrs report in
   let count pred =
     let n = ref 0 in
     for sid = 0 to report.Engine.n_stmts - 1 do

@@ -1,0 +1,24 @@
+(* Annotation-free checkpointing, end to end: read a bare mini-C program
+   (no Sclass declarations anywhere), run the automatic inference
+   pipeline, and print what it derived — discovered phases, inferred
+   shapes, translation-validation verdicts, and the barrier-elision plan.
+
+   Usage: auto_infer [file.mc]   (defaults to the blur workload) *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let () =
+  let program =
+    if Array.length Sys.argv > 1 then Minic.Parser.parse (read_file Sys.argv.(1))
+    else Minic.Gen.image_program ()
+  in
+  let env = Minic.Check.check program in
+  let t = Staticcheck.Auto_spec.infer env in
+  Format.printf "%a@." Staticcheck.Auto_spec.pp t;
+  Format.printf "@.inference %s: %d specialized checkpointer(s) verified@."
+    (if Staticcheck.Auto_spec.ok t then "ok" else "REFUSED")
+    (Staticcheck.Auto_spec.verified_count t)

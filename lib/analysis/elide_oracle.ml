@@ -11,13 +11,15 @@ type outcome = {
   workload : string;
   identical_incremental : bool;
   identical_specialized : bool;
+  identical_cross_mode : bool;
   violations : violation list;
   segments_checked : int;
   dirty_cells : int;
 }
 
 let ok o =
-  o.identical_incremental && o.identical_specialized && o.violations = []
+  o.identical_incremental && o.identical_specialized && o.identical_cross_mode
+  && o.violations = []
 
 let chains_identical a b =
   let key (s : Segment.t) =
@@ -68,7 +70,7 @@ let phase_of_name = function
    record in a phase's segments must be a cell of a site region the
    phase may write. *)
 let check_containment (report : Engine.report) =
-  let attrs = report.Engine.attrs in
+  let attrs = Engine.attrs report in
   let schema = Attrs.schema attrs in
   let owners = owner_map attrs in
   let varref_kid =
@@ -164,6 +166,118 @@ let run ?division ~name program =
       chains_identical inst_inc.Engine.chain elid_inc.Engine.chain;
     identical_specialized =
       chains_identical inst_spec.Engine.chain elid_spec.Engine.chain;
+    identical_cross_mode =
+      chains_identical inst_inc.Engine.chain inst_spec.Engine.chain;
+    violations;
+    segments_checked;
+    dirty_cells }
+
+(* ---- annotation-free (inferred) runs -------------------------------------- *)
+
+(* I8 over the workload heap: every record of the instrumented
+   incremental run, attributed positionally to its discovered phase,
+   must be a block (or scalar) the phase's inferred may-write region
+   meets. Headers never change after the base checkpoint, so a dirty
+   header is always a violation. *)
+let check_containment_inferred (report : Engine.report) =
+  let wheap =
+    match Engine.wheap report with
+    | Some w -> w
+    | None -> invalid_arg "Elide_oracle: not an inferred run"
+  in
+  let auto = Option.get (Engine.auto_spec report) in
+  let schema = Wheap.schema wheap in
+  let violations = ref [] in
+  let segments_checked = ref 0 in
+  let dirty_cells = ref 0 in
+  let incremental_segments =
+    List.filter
+      (fun (s : Segment.t) -> s.Segment.kind = Segment.Incremental)
+      (Chain.segments report.Engine.chain)
+  in
+  let rec attribute segs = function
+    | [] -> ()
+    | ( (p : Engine.phase_report),
+        (pr : Staticcheck.Auto_spec.phase_result) )
+      :: phases ->
+        let rec take n segs =
+          if n = 0 then ([], segs)
+          else
+            match segs with
+            | [] -> ([], [])
+            | s :: rest ->
+                let mine, others = take (n - 1) rest in
+                (s :: mine, others)
+        in
+        let mine, rest = take p.Engine.iterations segs in
+        let region g =
+          match List.assoc_opt g pr.Staticcheck.Auto_spec.ph_regions with
+          | Some r -> r
+          | None -> Staticcheck.Regions.bot
+        in
+        List.iter
+          (fun (s : Segment.t) ->
+            incr segments_checked;
+            List.iter
+              (fun (r : Restore.record) ->
+                incr dirty_cells;
+                let add site sid detail =
+                  violations :=
+                    { phase = p.Engine.phase; site; sid; detail }
+                    :: !violations
+                in
+                match Wheap.owner_of wheap r.Restore.rec_id with
+                | Some (g, Wheap.Scalar_slot) ->
+                    if Staticcheck.Regions.is_bot (region g) then
+                      add g 0
+                        "scalar dirtied in a phase whose may-write region \
+                         for it is empty"
+                | Some (g, Wheap.Header) ->
+                    add g (-1)
+                      "array header dirtied; headers are immutable after \
+                       the base checkpoint"
+                | Some (g, Wheap.Block { lo; hi }) ->
+                    if
+                      Staticcheck.Regions.is_bot
+                        (Staticcheck.Regions.meet (region g)
+                           (Staticcheck.Regions.interval lo hi))
+                    then
+                      add g lo
+                        (Format.asprintf
+                           "block [%d..%d] dirtied outside static \
+                            may-write region %a"
+                           lo hi Staticcheck.Regions.pp (region g))
+                | None ->
+                    add "?" (-1)
+                      (Printf.sprintf
+                         "record for unknown object id %d (class id %d)"
+                         r.Restore.rec_id r.Restore.rec_kid))
+              (Restore.records_of_body schema s.Segment.body))
+          mine;
+        attribute rest phases
+  in
+  attribute incremental_segments
+    (List.combine report.Engine.phases auto.Staticcheck.Auto_spec.a_phases);
+  (List.rev !violations, !segments_checked, !dirty_cells)
+
+let run_inferred ~name program =
+  let analyze ~mode ~guard ~elide =
+    Engine.analyze ~mode ~guard ~elide ~infer:true program
+  in
+  let inst_inc = analyze ~mode:Engine.Incremental ~guard:false ~elide:false in
+  let elid_inc = analyze ~mode:Engine.Incremental ~guard:false ~elide:true in
+  let inst_spec = analyze ~mode:Engine.Specialized ~guard:true ~elide:false in
+  let elid_spec = analyze ~mode:Engine.Specialized ~guard:true ~elide:true in
+  let violations, segments_checked, dirty_cells =
+    check_containment_inferred inst_inc
+  in
+  { workload = name;
+    identical_incremental =
+      chains_identical inst_inc.Engine.chain elid_inc.Engine.chain;
+    identical_specialized =
+      chains_identical inst_spec.Engine.chain elid_spec.Engine.chain;
+    identical_cross_mode =
+      chains_identical inst_inc.Engine.chain inst_spec.Engine.chain;
     violations;
     segments_checked;
     dirty_cells }

@@ -29,6 +29,11 @@ type outcome = {
   workload : string;
   identical_incremental : bool;
   identical_specialized : bool;
+  identical_cross_mode : bool;
+      (** the instrumented incremental chain is byte-identical to the
+          instrumented specialized chain — the translation-validated
+          equivalence of residual and generic code observed end-to-end
+          on the real run *)
   violations : violation list;  (** I8 breaches; empty when sound *)
   segments_checked : int;  (** incremental segments decoded for I8 *)
   dirty_cells : int;  (** dynamically dirty attribute cells observed *)
@@ -39,6 +44,16 @@ val ok : outcome -> bool
 val run : ?division:string list -> name:string -> Minic.Ast.program -> outcome
 (** Four engine runs of the workload (instrumented/elided ×
     incremental/guarded-specialized) plus the segment decode. *)
+
+val run_inferred : name:string -> Minic.Ast.program -> outcome
+(** The same differential checks for an {e annotation-free} run
+    ([Engine.analyze ~infer]): four runs of the bare program under
+    inferred shapes and inferred elision plans, byte-identity across
+    elision and across modes, and I8 over the {!Wheap} — every
+    dynamically dirtied block or scalar of the instrumented incremental
+    run must lie inside its phase's inferred may-write region.
+    [violation.site] carries the global name, [violation.sid] the first
+    cell of the offending block. *)
 
 val builtin_workloads : unit -> (string * Minic.Ast.program) list
 (** The generator workloads the test suite and CLI default to:

@@ -25,16 +25,32 @@ type phase_report = {
   analysis_seconds : float;
 }
 
+type subject =
+  | Engine_heap of Attrs.t
+  | Workload_heap of { wheap : Wheap.t; auto : Staticcheck.Auto_spec.t }
+
 type report = {
   mode : mode;
   n_stmts : int;
   base_bytes : int;
   phases : phase_report list;
   chain : Chain.t;
-  attrs : Attrs.t;
+  subject : subject;
   env : Minic.Check.env;
   elide_plans : Staticcheck.Barrier_elide.plan list;
 }
+
+let attrs r =
+  match r.subject with
+  | Engine_heap a -> a
+  | Workload_heap _ ->
+      invalid_arg "Engine.attrs: annotation-free run has no attribute heap"
+
+let auto_spec r =
+  match r.subject with Workload_heap { auto; _ } -> Some auto | _ -> None
+
+let wheap r =
+  match r.subject with Workload_heap { wheap; _ } -> Some wheap | _ -> None
 
 exception Preflight_failed of Staticcheck.Spec_lint.diagnostic list
 
@@ -203,9 +219,9 @@ let run_phase ~cache ~name ~mode ~measure_traversal ~guard_shape ~barrier_plan
     stats = List.rev !stats;
     analysis_seconds = Float.max 0.0 (total_seconds -. !ckp_total) }
 
-let analyze ?(mode = Incremental) ?division ?(sea_min = 1) ?(bta_min = 1)
-    ?(eta_min = 1) ?(measure_traversal = false) ?(guard = false)
-    ?(preflight = false) ?(elide = false) program =
+let analyze_declared ?(mode = Incremental) ?division ?(sea_min = 1)
+    ?(bta_min = 1) ?(eta_min = 1) ?(measure_traversal = false)
+    ?(guard = false) ?(preflight = false) ?(elide = false) program =
   let env = Minic.Check.check program in
   let division =
     match division with
@@ -298,9 +314,190 @@ let analyze ?(mode = Incremental) ?division ?(sea_min = 1) ?(bta_min = 1)
     base_bytes;
     phases;
     chain;
-    attrs;
+    subject = Engine_heap attrs;
     env;
     elide_plans = List.filter_map Fun.id [ sea_plan; bta_plan; eta_plan ] }
+
+(* ---- annotation-free (inferred) runs -------------------------------------- *)
+
+(* One checkpoint over the workload heap. Specialized mode records each
+   root with the residual routine compiled for that root's inferred
+   per-phase shape (all drawn from the inference run's spec cache) and
+   appends the segment manually, exactly like the declared-run step. *)
+let workload_checkpoint_step ~mode ~measure_traversal ~guard ~elide ~chain
+    ~(wheap : Wheap.t) ~(auto : Staticcheck.Auto_spec.t)
+    ~(pr : Staticcheck.Auto_spec.phase_result) () =
+  let roots = Wheap.roots wheap in
+  let take f =
+    let (taken : Chain.taken), seconds = Clock.time (fun () -> f ()) in
+    { bytes = Segment.body_size taken.Chain.segment;
+      seconds;
+      traversal_seconds = None;
+      guard_seconds = 0.0;
+      recorded = taken.Chain.stats.Checkpointer.recorded }
+  in
+  match mode with
+  | Full -> take (fun () -> Chain.take_full chain roots)
+  | Incremental -> take (fun () -> Chain.take_incremental chain roots)
+  | Specialized ->
+      let (), guard_seconds =
+        Clock.time (fun () ->
+            if guard then
+              List.iter
+                (fun (g, shape) ->
+                  (* A global whose barrier is elided this phase was
+                     proven unwritten — its cleanliness check is
+                     statically discharged, mirroring the guard pruning
+                     of declared runs. *)
+                  if not (elide && Wheap.is_elided wheap g) then
+                    match Jspec.Guard.check shape (Wheap.root_of wheap g) with
+                    | [] -> ()
+                    | v :: _ -> raise (Jspec.Guard.Violated v))
+                pr.Staticcheck.Auto_spec.ph_shapes)
+      in
+      let record sink =
+        List.iter
+          (fun (g, shape) ->
+            let runner =
+              Jspec.Spec_cache.runner auto.Staticcheck.Auto_spec.a_cache shape
+            in
+            runner sink (Wheap.root_of wheap g))
+          pr.Staticcheck.Auto_spec.ph_shapes
+      in
+      let d = Ickpt_stream.Out_stream.create () in
+      let (), seconds = Clock.time (fun () -> record d) in
+      let body = Ickpt_stream.Out_stream.contents d in
+      let segment =
+        { Segment.kind = Segment.Incremental;
+          seq = Chain.next_seq chain;
+          roots =
+            List.map
+              (fun (o : Ickpt_runtime.Model.obj) ->
+                o.Ickpt_runtime.Model.info.Ickpt_runtime.Model.id)
+              roots;
+          body }
+      in
+      Chain.append chain segment;
+      let traversal_seconds =
+        if not measure_traversal then None
+        else
+          let sink = Ickpt_stream.Out_stream.sink () in
+          let (), s = Clock.time (fun () -> record sink) in
+          Some s
+      in
+      { bytes = String.length body;
+        seconds;
+        traversal_seconds;
+        guard_seconds;
+        recorded = -1 }
+
+(* Drive the program itself through the discovered phases: a [Setup]
+   phase executes once and checkpoints; a [Round] phase checkpoints after
+   every loop iteration, plus once after the final (false) guard
+   evaluation — guard effects belong to the round, so they must land in a
+   segment of this phase. A top-level [return] ([Session.Halted]) ends
+   the run: the partial round is still checkpointed, later phases take
+   zero checkpoints. *)
+let analyze_inferred ?(mode = Incremental) ?(measure_traversal = false)
+    ?(guard = false) ?(elide = false) program =
+  let env = Minic.Check.check program in
+  let auto = Staticcheck.Auto_spec.infer env in
+  let failures =
+    List.concat_map
+      (fun (pr : Staticcheck.Auto_spec.phase_result) ->
+        List.filter_map
+          (fun (g, v) ->
+            if Staticcheck.Tv.ok v then None
+            else
+              Some
+                ( pr.Staticcheck.Auto_spec.ph.Staticcheck.Phase_discover.p_name
+                  ^ "/" ^ g,
+                  v ))
+          pr.Staticcheck.Auto_spec.ph_verdicts)
+      auto.Staticcheck.Auto_spec.a_phases
+  in
+  (* The inference contract is unconditional: verified or refused. This
+     gate holds in every mode — even a plain incremental run must not
+     execute under shapes whose residual code failed validation. *)
+  if failures <> [] then raise (Verification_failed failures);
+  let wheap = Wheap.create auto.Staticcheck.Auto_spec.a_encoding in
+  let chain = Chain.create (Wheap.schema wheap) in
+  let base = Chain.take_full chain (Wheap.roots wheap) in
+  let base_bytes = Segment.body_size base.Chain.segment in
+  let session =
+    Minic.Interp.Session.start ~store:(Wheap.store wheap) program
+  in
+  let halted = ref false in
+  let phases =
+    List.map
+      (fun (pr : Staticcheck.Auto_spec.phase_result) ->
+        let ph = pr.Staticcheck.Auto_spec.ph in
+        Wheap.set_elided wheap
+          (if elide then
+             Staticcheck.Barrier_elide.welided
+               pr.Staticcheck.Auto_spec.ph_wplan
+           else []);
+        let stats = ref [] in
+        let ckp_total = ref 0.0 in
+        let step () =
+          let stat =
+            workload_checkpoint_step ~mode ~measure_traversal ~guard ~elide
+              ~chain ~wheap ~auto ~pr ()
+          in
+          ckp_total :=
+            !ckp_total +. stat.seconds +. stat.guard_seconds
+            +. Option.value ~default:0.0 stat.traversal_seconds;
+          stats := stat :: !stats
+        in
+        let exec_body () =
+          try Minic.Interp.Session.exec_block session ph.Staticcheck.Phase_discover.p_body
+          with Minic.Interp.Session.Halted _ -> halted := true
+        in
+        let run_rounds () =
+          if !halted then 0
+          else
+            match ph.Staticcheck.Phase_discover.p_kind with
+            | Staticcheck.Phase_discover.Setup ->
+                exec_body ();
+                step ();
+                1
+            | Staticcheck.Phase_discover.Round { cond } ->
+                let n = ref 0 in
+                let continue = ref true in
+                while !continue do
+                  if !halted then continue := false
+                  else begin
+                    let v = Minic.Interp.Session.eval session cond in
+                    if v = 0 then continue := false else exec_body ();
+                    step ();
+                    incr n
+                  end
+                done;
+                !n
+        in
+        let iterations, total_seconds = Clock.time run_rounds in
+        Wheap.set_elided wheap [];
+        { phase = ph.Staticcheck.Phase_discover.p_name;
+          iterations;
+          stats = List.rev !stats;
+          analysis_seconds = Float.max 0.0 (total_seconds -. !ckp_total) })
+      auto.Staticcheck.Auto_spec.a_phases
+  in
+  { mode;
+    n_stmts = Minic.Ast.stmt_count program;
+    base_bytes;
+    phases;
+    chain;
+    subject = Workload_heap { wheap; auto };
+    env;
+    elide_plans = [] }
+
+let analyze ?mode ?division ?sea_min ?bta_min ?eta_min ?measure_traversal
+    ?guard ?preflight ?elide ?(infer = false) program =
+  if infer then analyze_inferred ?mode ?measure_traversal ?guard ?elide program
+  else
+    analyze_declared ?mode ?division ?sea_min ?bta_min ?eta_min
+      ?measure_traversal ?guard ?preflight ?elide program
 
 let recover_annotations report =
   match Chain.recover report.chain with

@@ -38,18 +38,37 @@ type phase_report = {
   analysis_seconds : float;  (** time in the analysis itself *)
 }
 
+(** What the run checkpointed: the analysis engine's own attribute heap
+    (declared specialization classes, the PR-1 pipeline), or — for
+    [analyze ~infer] — the workload program's globals materialized as a
+    {!Wheap} under fully inferred shapes. *)
+type subject =
+  | Engine_heap of Attrs.t
+  | Workload_heap of { wheap : Wheap.t; auto : Staticcheck.Auto_spec.t }
+
 type report = {
   mode : mode;
   n_stmts : int;
   base_bytes : int;  (** size of the initial full checkpoint *)
   phases : phase_report list;
   chain : Chain.t;
-  attrs : Attrs.t;
+  subject : subject;
   env : Minic.Check.env;
   elide_plans : Staticcheck.Barrier_elide.plan list;
       (** the per-phase elision plans the run executed under; empty
-          unless [analyze ~elide:true] *)
+          unless [analyze ~elide:true] (declared runs only — inferred
+          runs carry their plans in the {!subject}'s
+          [Staticcheck.Auto_spec.t]) *)
 }
+
+val attrs : report -> Attrs.t
+(** The attribute heap of a declared run.
+    @raise Invalid_argument on an [~infer] report. *)
+
+val auto_spec : report -> Staticcheck.Auto_spec.t option
+(** The inference result of an [~infer] run; [None] otherwise. *)
+
+val wheap : report -> Wheap.t option
 
 exception Preflight_failed of Staticcheck.Spec_lint.diagnostic list
 
@@ -71,6 +90,7 @@ val analyze :
   ?guard:bool ->
   ?preflight:bool ->
   ?elide:bool ->
+  ?infer:bool ->
   Minic.Ast.program ->
   report
 (** Defaults: [mode = Incremental]; [division] = the program's globals
@@ -93,6 +113,20 @@ val analyze :
     remain. Elision never changes checkpoint bytes on any run the static
     analysis covers soundly; {!Elide_oracle} verifies this
     differentially).
+
+    [infer = false]: when true, the program is run {e annotation-free}
+    through the automatic pipeline ({!Staticcheck.Auto_spec}): phases
+    are discovered from [main]'s top-level structure, the globals become
+    the checkpointable {!Wheap}, shapes and elision plans are inferred
+    per phase, and the reference interpreter drives the program itself —
+    one checkpoint per discovered round. Every synthesized checkpointer
+    must pass translation validation first; {!Verification_failed} is
+    raised otherwise {e in every mode} (verified-or-refused, never a
+    silent generic fallback). [division], [sea_min], [bta_min],
+    [eta_min] and [preflight] do not apply to inferred runs and are
+    ignored; [elide] uses the inferred per-global
+    {!Staticcheck.Barrier_elide.wplan}s; [guard] validates each root
+    against its inferred shape before every specialized checkpoint.
 
     The chain in the result can be recovered to verify the checkpointed
     analysis state (see the crash-recovery example). *)

@@ -1,0 +1,158 @@
+open Ickpt_runtime
+open Staticcheck
+
+type owner = Scalar_slot | Header | Block of { lo : int; hi : int }
+
+type arr = {
+  a_header : Model.obj;
+  a_blocks : (Shape_infer.block * Model.obj) array;
+  a_bsize : int;
+  a_length : int;
+}
+
+type repr = R_scalar of Model.obj | R_array of arr
+
+type t = {
+  encoding : Shape_infer.encoding;
+  heap : Heap.t;
+  reprs : (string * repr) list;  (** declaration order *)
+  by_name : (string, repr) Hashtbl.t;
+  owners : (int, string * owner) Hashtbl.t;
+  elided : (string, unit) Hashtbl.t;
+}
+
+let fail fmt =
+  Format.kasprintf (fun s -> raise (Minic.Interp.Runtime_error s)) fmt
+
+let create (encoding : Shape_infer.encoding) =
+  let heap = Heap.create encoding.Shape_infer.schema in
+  let owners = Hashtbl.create 64 in
+  let inits =
+    List.map
+      (fun (d : Minic.Ast.var_decl) -> (d.v_name, d.v_init))
+      encoding.Shape_infer.enc_env.Minic.Check.program.Minic.Ast.globals
+  in
+  let reprs =
+    List.map
+      (fun (name, slot) ->
+        match slot with
+        | Shape_infer.Scalar k ->
+            let o = Heap.alloc heap k in
+            o.Model.ints.(0) <- List.assoc name inits;
+            Hashtbl.replace owners o.Model.info.Model.id (name, Scalar_slot);
+            (name, R_scalar o)
+        | Shape_infer.Array { header; blocks; length } ->
+            (* Blocks first, then the header pointing at them — ids are
+               cosmetic, but allocation order keeps the restore-side dump
+               readable. Cells start zeroed, as mini-C arrays do. *)
+            let bobjs =
+              Array.of_list
+                (List.map
+                   (fun (b : Shape_infer.block) ->
+                     let o = Heap.alloc heap b.Shape_infer.b_klass in
+                     Hashtbl.replace owners o.Model.info.Model.id
+                       ( name,
+                         Block
+                           { lo = b.Shape_infer.b_lo; hi = b.Shape_infer.b_hi }
+                       );
+                     (b, o))
+                   blocks)
+            in
+            let h = Heap.alloc heap header in
+            h.Model.ints.(0) <- length;
+            Array.iteri
+              (fun i (_, o) -> h.Model.children.(i) <- Some o)
+              bobjs;
+            Hashtbl.replace owners h.Model.info.Model.id (name, Header);
+            ( name,
+              R_array
+                { a_header = h;
+                  a_blocks = bobjs;
+                  a_bsize = Shape_infer.block_size length;
+                  a_length = length } ))
+      encoding.Shape_infer.slots
+  in
+  let by_name = Hashtbl.create 16 in
+  List.iter (fun (n, r) -> Hashtbl.replace by_name n r) reprs;
+  { encoding; heap; reprs; by_name; owners; elided = Hashtbl.create 8 }
+
+let encoding t = t.encoding
+
+let heap t = t.heap
+
+let schema t = Heap.schema t.heap
+
+let roots t =
+  List.map
+    (fun (_, r) ->
+      match r with R_scalar o -> o | R_array a -> a.a_header)
+    t.reprs
+
+let root_of t name =
+  match Hashtbl.find_opt t.by_name name with
+  | Some (R_scalar o) -> o
+  | Some (R_array a) -> a.a_header
+  | None -> invalid_arg ("Wheap.root_of: unknown global " ^ name)
+
+let owner_of t id = Hashtbl.find_opt t.owners id
+
+let set_elided t names =
+  Hashtbl.reset t.elided;
+  List.iter (fun n -> Hashtbl.replace t.elided n ()) names
+
+let is_elided t name = Hashtbl.mem t.elided name
+
+(* ---- the interpreter-facing store ----------------------------------------- *)
+
+let scalar t x =
+  match Hashtbl.find_opt t.by_name x with
+  | Some (R_scalar o) -> o
+  | Some (R_array _) -> fail "array %s used as scalar" x
+  | None -> fail "unbound global %s" x
+
+let array t x =
+  match Hashtbl.find_opt t.by_name x with
+  | Some (R_array a) -> a
+  | Some (R_scalar _) -> fail "scalar %s used as array" x
+  | None -> fail "unbound global %s" x
+
+let cell a i =
+  (* The interpreter bounds-checks against gs_length before calling in. *)
+  let bi = i / a.a_bsize in
+  let b, o = a.a_blocks.(bi) in
+  (o, i - b.Shape_infer.b_lo)
+
+(* Stores go through the unconditional write barrier — the paper's
+   model: every assignment pays the flag update, whatever the value —
+   unless the global's barrier is elided for the current phase, in which
+   case the raw setter skips the [modified]-flag maintenance the static
+   analysis proved dead. *)
+let store t =
+  { Minic.Interp.gs_get = (fun x -> Barrier.get_int (scalar t x) 0);
+    gs_set =
+      (fun x v ->
+        let o = scalar t x in
+        if Hashtbl.mem t.elided x then ignore (Barrier.set_int_raw o 0 v)
+        else Barrier.set_int o 0 v);
+    gs_get_cell =
+      (fun x i ->
+        let o, off = cell (array t x) i in
+        Barrier.get_int o off);
+    gs_set_cell =
+      (fun x i v ->
+        let o, off = cell (array t x) i in
+        if Hashtbl.mem t.elided x then ignore (Barrier.set_int_raw o off v)
+        else Barrier.set_int o off v);
+    gs_length = (fun x -> (array t x).a_length) }
+
+let scalar_globals t =
+  List.filter_map
+    (fun (n, r) ->
+      match r with
+      | R_scalar o -> Some (n, Barrier.get_int o 0)
+      | R_array _ -> None)
+    t.reprs
+
+let get_cell t x i =
+  let o, off = cell (array t x) i in
+  Barrier.get_int o off

@@ -1,0 +1,64 @@
+(** The workload heap: a mini-C program's globals materialized as a
+    checkpointable {!Ickpt_runtime} object graph per the
+    {!Staticcheck.Shape_infer} encoding — the runtime half of the
+    annotation-free pipeline.
+
+    Every global is a checkpoint root (declaration order): scalars as
+    one-field objects, arrays as a header whose children are fixed-size
+    block objects. {!store} exposes the heap as a
+    {!Minic.Interp.global_store}, so the reference interpreter executes
+    the {e unmodified} program against it: every global store becomes a
+    write-barriered field assignment (unconditional, the paper's model:
+    every assignment pays the flag update), every read a plain field
+    load. Globals
+    whose barrier the current phase's {!Staticcheck.Barrier_elide.wplan}
+    elides take the raw setter instead ({!set_elided}).
+
+    {!owner_of} maps object ids back to (global, cell range) — what
+    {!Elide_oracle} uses to check dynamically dirtied blocks against the
+    static may-write regions (invariant I8). *)
+
+open Ickpt_runtime
+
+type t
+
+type owner =
+  | Scalar_slot  (** the one int field of a scalar global *)
+  | Header  (** an array header: immutable length + block pointers *)
+  | Block of { lo : int; hi : int }  (** cells [lo..hi] of the array *)
+
+val create : Staticcheck.Shape_infer.encoding -> t
+(** Allocate the whole graph: scalars at their declared initializers,
+    array cells zeroed. Freshly allocated objects carry a set [modified]
+    flag — take the base full checkpoint before running anything. *)
+
+val encoding : t -> Staticcheck.Shape_infer.encoding
+val heap : t -> Heap.t
+val schema : t -> Schema.t
+
+val roots : t -> Model.obj list
+(** Declaration order — the fixed root list of every checkpoint. *)
+
+val root_of : t -> string -> Model.obj
+(** @raise Invalid_argument for a non-global name. *)
+
+val owner_of : t -> int -> (string * owner) option
+(** Attribute an object id; [None] for ids outside this heap. *)
+
+val set_elided : t -> string list -> unit
+(** Install the elision set for the phase about to run: stores to these
+    globals skip barrier and flag maintenance. Replaces the previous
+    set; [set_elided t []] restores full instrumentation. *)
+
+val is_elided : t -> string -> bool
+
+val store : t -> Minic.Interp.global_store
+(** The interpreter-facing view. Raises [Minic.Interp.Runtime_error] on
+    scalar/array misuse (checked programs never do). *)
+
+val scalar_globals : t -> (string * int) list
+(** Current scalar values, declaration order — comparable to
+    [Minic.Interp.outcome.globals]. *)
+
+val get_cell : t -> string -> int -> int
+(** Read one array cell (bounds unchecked beyond block lookup). *)

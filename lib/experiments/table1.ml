@@ -91,7 +91,7 @@ let run ~scale ppf =
   Format.fprintf ppf "%a@." Table.pp size_table;
 
   (* Steady-state timing on the converged incremental report's heap. *)
-  let attrs = r_incr.Engine.attrs in
+  let attrs = Engine.attrs r_incr in
   let n = Attrs.n_stmts attrs in
   let flip_bt () =
     for sid = 0 to n - 1 do

@@ -226,3 +226,92 @@ let small_program () =
         return (v "b" +: idx "buf" (n 7)) ]
   in
   Ast.number { globals; funcs = [ double; fill; main ] }
+
+(* ---- random annotation-free workloads ------------------------------------- *)
+
+(* Deterministically random programs for property tests of the automatic
+   checkpoint-inference pipeline: guaranteed to check, to terminate, and
+   to keep every array index in bounds and every scalar non-negative
+   (indices are built from non-negative literals, [+], [*] and [mod] by a
+   positive literal — never [-] or [/]). The shapes vary where it
+   matters: scalar/array mix, literal vs. affine vs. value-dependent
+   (hashed) store indices, 1 or 2 top-level loops, optional setup calls
+   and an optional early return. *)
+let random_program ~seed () =
+  let rng = Random.State.make [| 0x1c5; seed; 0xa11 |] in
+  let int lo hi = lo + Random.State.int rng (hi - lo + 1) in
+  let pick l = List.nth l (Random.State.int rng (List.length l)) in
+  let n_scalars = int 2 4 in
+  let n_arrays = int 1 3 in
+  let scalars = List.init n_scalars (fun i -> Printf.sprintf "s%d" i) in
+  let arrays =
+    List.init n_arrays (fun i -> (Printf.sprintf "a%d" i, int 8 32))
+  in
+  let globals =
+    List.map (fun s -> { v_name = s; v_typ = T_int; v_init = int 0 9 }) scalars
+    @ List.map
+        (fun (a, len) -> { v_name = a; v_typ = T_array len; v_init = 0 })
+        arrays
+  in
+  (* One store into a random array, indexed by the worker's loop counter
+     [i] (always in [0, bound-1], bound <= 8). *)
+  let store_stmt () =
+    let a, len = pick arrays in
+    let s = pick scalars in
+    match int 0 2 with
+    | 0 ->
+        (* literal index *)
+        [ store a (n (int 0 (len - 1))) (v "i" +: n (int 0 99)) ]
+    | 1 ->
+        (* affine index, folded into the array by a positive-literal mod *)
+        let stride = int 1 5 and off = int 0 7 in
+        [ store a (((v "i" *: n stride) +: n off) %: n len) (v s +: v "i") ]
+    | _ ->
+        (* value-dependent (hashed) index: an LCG step keeps the scalar
+           non-negative, then scatters a write through it *)
+        let m = pick [ 251; 509; 1021; 4093 ] in
+        [ assign s (((v s *: n (int 3 75)) +: n (int 1 74)) %: n m);
+          store a (v s %: n len) (v s +: v "i") ]
+  in
+  let n_workers = int 2 4 in
+  let workers =
+    List.init n_workers (fun w ->
+        let bound = int 2 8 in
+        let body = List.concat (List.init (int 1 3) (fun _ -> store_stmt ())) in
+        func
+          (Printf.sprintf "work%d" w)
+          [] [ local "i" ]
+          [ assign "i" (n 0);
+            while_ (v "i" <: n bound) (body @ [ assign "i" (v "i" +: n 1) ]) ])
+  in
+  let worker_name w = w.f_name in
+  let round_loop counter =
+    let rounds = int 2 5 in
+    let calls =
+      List.init (int 1 2) (fun _ -> call (worker_name (pick workers)) [])
+    in
+    while_
+      (v counter <: n rounds)
+      (calls @ [ assign counter (v counter +: n 1) ])
+  in
+  let setup =
+    if int 0 1 = 0 then [] else [ call (worker_name (pick workers)) [] ]
+  in
+  let loops =
+    if int 0 2 = 0 then [ round_loop "r"; round_loop "q" ]
+    else [ round_loop "r" ]
+  in
+  let early_return =
+    (* A conditional top-level return: on seeds where the guard fires
+       (it depends on the setup call's LCG steps) the driver's Halted
+       path runs — later phases then take zero checkpoints. *)
+    if int 0 3 = 0 then
+      [ if_ (v (pick scalars) >: n (int 10 2000)) [ return (n 1) ] [] ]
+    else []
+  in
+  let main =
+    func ~ret:T_int "main" []
+      [ local "r"; local "q" ]
+      (setup @ early_return @ loops @ [ return (v (pick scalars)) ])
+  in
+  number { globals; funcs = workers @ [ main ] }

@@ -19,3 +19,12 @@ val static_globals : string list
     (dimensions, kernels, thresholds) — the initial division handed to the
     binding-time analysis. The image payload and the noise seed are
     dynamic. *)
+
+val random_program : seed:int -> unit -> Ast.program
+(** A deterministically random annotation-free workload (same seed, same
+    program): 2–4 scalars, 1–3 arrays, worker functions storing through
+    literal, affine and value-dependent indices under bounded loops, and
+    a [main] of optional setup calls plus one or two checkpoint-round
+    loops. Always checks, terminates, stays in bounds, and keeps scalars
+    non-negative — the property-test input for the automatic inference
+    pipeline (invariant I8 with zero declarations). *)

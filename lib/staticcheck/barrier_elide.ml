@@ -218,3 +218,75 @@ let pp ppf p =
   | Some _ -> Format.fprintf ppf "@,guard: retained");
   List.iter (fun f -> Format.fprintf ppf "@,%a" Finding.pp f) p.findings;
   Format.fprintf ppf "@]"
+
+(* ---- workload plans (annotation-free pipeline) ---------------------------- *)
+
+type wdecision = {
+  wglobal : string;
+  welide : bool;
+  wregion : Regions.t;
+  wreason : string;
+}
+
+type wplan = {
+  wphase : string;
+  wdecisions : wdecision list;
+  wfindings : Finding.t list;
+}
+
+let workload_plan ~phase enc regions =
+  let scope = "elide:" ^ phase in
+  let wdecisions =
+    List.map
+      (fun (g, region) ->
+        let welide = Regions.is_bot region in
+        let wreason =
+          if welide then "no may-write: barrier and flag maintenance elided"
+          else
+            Format.asprintf "may-write region %a: barrier kept" Regions.pp
+              region
+        in
+        { wglobal = g; welide; wregion = region; wreason })
+      regions
+  in
+  let wfindings =
+    List.concat_map
+      (fun d ->
+        if d.welide then []
+        else
+          match Shape_infer.slot_of enc d.wglobal with
+          | Shape_infer.Scalar _ -> []
+          | Shape_infer.Array { length; _ } ->
+              let clean =
+                Regions.complement_in ~lo:0 ~hi:(length - 1) d.wregion
+              in
+              if Regions.is_bot clean then []
+              else
+                [ { Finding.severity = Finding.Warning;
+                    scope;
+                    path = d.wglobal;
+                    reason =
+                      Format.asprintf
+                        "partially clean (%a definitely clean): whole-array \
+                         barrier kept; the inferred shape still marks clean \
+                         blocks Clean"
+                        Regions.pp clean } ])
+      wdecisions
+  in
+  { wphase = phase; wdecisions; wfindings }
+
+let welided p =
+  List.filter_map
+    (fun d -> if d.welide then Some d.wglobal else None)
+    p.wdecisions
+
+let pp_wplan ppf p =
+  Format.fprintf ppf "@[<v 2>phase %s:" p.wphase;
+  List.iter
+    (fun d ->
+      Format.fprintf ppf "@,%-12s %s  (%s)" d.wglobal
+        (if d.welide then "elide" else "keep ")
+        d.wreason)
+    p.wdecisions;
+  List.iter (fun f -> Format.fprintf ppf "@,%a" Finding.pp f) p.wfindings;
+  Format.fprintf ppf "@]"

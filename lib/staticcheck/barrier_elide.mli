@@ -68,3 +68,37 @@ val elided : plan -> site list
 val decision : plan -> site -> decision
 
 val pp : Format.formatter -> plan -> unit
+
+(** {1 Workload plans}
+
+    The annotation-free pipeline ([Auto_spec]) elides at {e global}
+    granularity over the {!Shape_infer} encoding: a global whose inferred
+    per-phase may-write region is empty loses its write barrier for that
+    phase (stores go through [Barrier.set_int_raw]); any non-empty region
+    keeps it. The same I8 soundness contract applies, re-verified
+    dynamically by [Ickpt_analysis.Elide_oracle]. *)
+
+type wdecision = {
+  wglobal : string;
+  welide : bool;  (** barrier + flag maintenance compiled out *)
+  wregion : Regions.t;  (** clamped may-write region of the global *)
+  wreason : string;
+}
+
+type wplan = {
+  wphase : string;  (** discovered phase name *)
+  wdecisions : wdecision list;  (** one per global, declaration order *)
+  wfindings : Finding.t list;
+      (** [Warning] for partially-clean arrays: some cells are provably
+          clean but a non-empty region keeps the barrier — the inferred
+          shape still exploits the clean blocks. *)
+}
+
+val workload_plan :
+  phase:string -> Shape_infer.encoding -> (string * Regions.t) list -> wplan
+(** [workload_plan ~phase enc regions] with [regions] the per-global
+    clamped may-write regions in declaration order. *)
+
+val welided : wplan -> string list
+
+val pp_wplan : Format.formatter -> wplan -> unit

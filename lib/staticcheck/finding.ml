@@ -82,3 +82,35 @@ let pp_report ppf fs =
           Format.fprintf ppf "@]")
         (group_by_reason fs);
       Format.fprintf ppf "@]"
+
+(* ---- JSON ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json f =
+  Printf.sprintf {|{"severity":"%s","scope":"%s","path":"%s","reason":"%s"}|}
+    (severity_name f.severity) (json_escape f.scope) (json_escape f.path)
+    (json_escape f.reason)
+
+let envelope ~subcommand ?(extra = []) ~exit_code findings =
+  Printf.sprintf
+    {|{"tool":"ickpt_lint","subcommand":"%s","errors":%d,"warnings":%d,"findings":[%s],%s"exit_code":%d}|}
+    (json_escape subcommand) (count Error findings) (count Warning findings)
+    (String.concat "," (List.map to_json findings))
+    (String.concat ""
+       (List.map
+          (fun (k, v) -> Printf.sprintf {|"%s":%s,|} (json_escape k) v)
+          extra))
+    exit_code

@@ -30,3 +30,25 @@ val group_by_reason : t list -> (string * t list) list
 
 val pp : Format.formatter -> t -> unit
 val pp_report : Format.formatter -> t list -> unit
+
+(** {1 JSON}
+
+    The uniform machine-readable envelope shared by every [ickpt_lint]
+    subcommand: top-level [tool], [subcommand], [errors], [warnings],
+    [findings] and [exit_code] fields, so downstream tooling parses one
+    schema whatever the subcommand. *)
+
+val json_escape : string -> string
+
+val to_json : t -> string
+(** One finding as a JSON object. *)
+
+val envelope :
+  subcommand:string ->
+  ?extra:(string * string) list ->
+  exit_code:int ->
+  t list ->
+  string
+(** The whole envelope (one line, no trailing newline). [extra] pairs are
+    spliced in as additional top-level fields; each value must already be
+    valid JSON. *)

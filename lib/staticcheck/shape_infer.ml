@@ -1,0 +1,137 @@
+open Ickpt_runtime
+
+type block = { b_index : int; b_lo : int; b_hi : int; b_klass : Model.klass }
+
+type slot =
+  | Scalar of Model.klass
+  | Array of { header : Model.klass; blocks : block list; length : int }
+
+type encoding = {
+  enc_env : Minic.Check.env;
+  schema : Schema.t;
+  slots : (string * slot) list;
+}
+
+let max_blocks = 8
+let base_block = 8
+
+let block_size len =
+  if len <= max_blocks * base_block then base_block
+  else (len + max_blocks - 1) / max_blocks
+
+let blocks_of len =
+  let bsize = block_size len in
+  let n = (len + bsize - 1) / bsize in
+  List.init n (fun i ->
+      let lo = i * bsize in
+      (i, lo, min (len - 1) (lo + bsize - 1)))
+
+let encode (env : Minic.Check.env) =
+  let schema = Schema.create () in
+  let klasses = Hashtbl.create 8 in
+  let declare name ~ints ~children =
+    match Hashtbl.find_opt klasses name with
+    | Some k -> k
+    | None ->
+        let k = Schema.declare schema ~name ~ints ~children () in
+        Hashtbl.replace klasses name k;
+        k
+  in
+  let slots =
+    List.map
+      (fun (d : Minic.Ast.var_decl) ->
+        let slot =
+          match d.v_typ with
+          | Minic.Ast.T_int -> Scalar (declare "WScalar" ~ints:1 ~children:0)
+          | Minic.Ast.T_array len ->
+              let blocks =
+                List.map
+                  (fun (i, lo, hi) ->
+                    let sz = hi - lo + 1 in
+                    { b_index = i;
+                      b_lo = lo;
+                      b_hi = hi;
+                      b_klass =
+                        declare
+                          (Printf.sprintf "WBlk%d" sz)
+                          ~ints:sz ~children:0 })
+                  (blocks_of len)
+              in
+              let header =
+                declare
+                  (Printf.sprintf "WArr%d" (List.length blocks))
+                  ~ints:1
+                  ~children:(List.length blocks)
+              in
+              Array { header; blocks; length = len }
+          | Minic.Ast.T_void -> assert false (* rejected by Check *)
+        in
+        (d.v_name, slot))
+      env.Minic.Check.program.Minic.Ast.globals
+  in
+  { enc_env = env; schema; slots }
+
+let globals enc = List.map fst enc.slots
+
+let slot_of enc name =
+  match List.assoc_opt name enc.slots with
+  | Some s -> s
+  | None -> invalid_arg ("Shape_infer.slot_of: unknown global " ^ name)
+
+(* ---- shape synthesis ------------------------------------------------------ *)
+
+let status_of region =
+  if Regions.is_bot region then Jspec.Sclass.Clean else Jspec.Sclass.Tracked
+
+let shape_of enc name region =
+  match slot_of enc name with
+  | Scalar k -> Jspec.Sclass.leaf ~status:(status_of region) k
+  | Array { header; blocks; _ } ->
+      let children =
+        if Regions.is_bot region then
+          (* The phase provably never writes the array: the whole payload
+             is an opaque clean subtree — recorded by id in the header,
+             never traversed. *)
+          Array.map (fun _ -> Jspec.Sclass.Clean_opaque) (Array.of_list blocks)
+        else
+          Array.of_list
+            (List.map
+               (fun b ->
+                 let br =
+                   Regions.meet region (Regions.interval b.b_lo b.b_hi)
+                 in
+                 Jspec.Sclass.Exact
+                   (Jspec.Sclass.leaf ~status:(status_of br) b.b_klass))
+               blocks)
+      in
+      (* The header holds only the (immutable) length: always clean. All
+         blocks are allocated with the array — children are never null,
+         so the inferred nullability is Exact / Clean_opaque throughout. *)
+      Jspec.Sclass.shape ~status:Jspec.Sclass.Clean header children
+
+let tracked_blocks enc name region =
+  match slot_of enc name with
+  | Scalar _ -> []
+  | Array { blocks; _ } ->
+      if Regions.is_bot region then []
+      else
+        List.filter
+          (fun b ->
+            not
+              (Regions.is_bot
+                 (Regions.meet region (Regions.interval b.b_lo b.b_hi))))
+          blocks
+
+let pp_slot ppf (name, slot) =
+  match slot with
+  | Scalar k -> Format.fprintf ppf "%s : %s" name k.Model.kname
+  | Array { header; blocks; length } ->
+      Format.fprintf ppf "%s : %s[%d] = %d block(s) %s" name
+        header.Model.kname length (List.length blocks)
+        (String.concat ","
+           (List.map (fun b -> b.b_klass.Model.kname) blocks))
+
+let pp ppf enc =
+  Format.fprintf ppf "@[<v>%a@]"
+    (Format.pp_print_list pp_slot)
+    enc.slots

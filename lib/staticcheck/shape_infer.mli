@@ -1,0 +1,66 @@
+(** Heap-shape inference for annotation-free programs.
+
+    The specialized checkpointers of [Jspec] operate on {!Ickpt_runtime}
+    object heaps described by hand-declared {!Jspec.Sclass.shape}s. For a
+    bare mini-C program there is no heap and no declaration — this pass
+    reconstructs both from the program's own storage declarations and the
+    per-phase may-write regions of {!Dirty_ai}:
+
+    - {!encode} maps every global to a compound object {e encoding}: a
+      scalar becomes a one-field [WScalar] object; an array becomes a
+      [WArr{i n}] header (holding the immutable length) whose [n] child
+      slots point at fixed [WBlk{i sz}] block objects covering the cells.
+      Block size adapts to the array (base 8, at most 8 blocks) so a
+      shape never exceeds the translation validator's variable budget.
+      Every global is a checkpoint root, in declaration order.
+    - {!shape_of} turns one phase's may-write region for a global into
+      the inferred specialization class of its encoding: a node is
+      [Tracked] iff the region meets its cells, headers are always
+      [Clean] (the length never changes), an array the phase provably
+      never writes collapses to [Clean_opaque] children — the opaque
+      subtree case — and since blocks are allocated with the array and
+      never null, inferred children are [Exact], never [Nullable].
+
+    The resulting shapes are exactly what {!Jspec.Pe.specialize} and
+    {!Tv.verify} consume; [Auto_spec] drives that pipeline. *)
+
+open Ickpt_runtime
+
+type block = {
+  b_index : int;
+  b_lo : int;  (** first cell covered, inclusive *)
+  b_hi : int;  (** last cell covered, inclusive *)
+  b_klass : Model.klass;
+}
+
+type slot =
+  | Scalar of Model.klass
+  | Array of { header : Model.klass; blocks : block list; length : int }
+
+type encoding = {
+  enc_env : Minic.Check.env;
+  schema : Schema.t;  (** the klasses, freshly declared per encoding *)
+  slots : (string * slot) list;  (** one per global, declaration order *)
+}
+
+val encode : Minic.Check.env -> encoding
+
+val globals : encoding -> string list
+(** Root order: global declaration order. *)
+
+val slot_of : encoding -> string -> slot
+(** @raise Invalid_argument for a non-global name. *)
+
+val shape_of : encoding -> string -> Regions.t -> Jspec.Sclass.shape
+(** [shape_of enc g region] — the inferred shape of [g]'s encoding for a
+    phase whose may-write region on [g] is [region] (clamped to [g]'s
+    extent, {!Regions.Bot} when provably unwritten). *)
+
+val tracked_blocks : encoding -> string -> Regions.t -> block list
+(** The blocks the region meets — empty for scalars and clean arrays. *)
+
+val block_size : int -> int
+(** The block size used for an array of the given length (exposed for
+    tests: [block_size 64 = 8], [block_size 1000 = 125]). *)
+
+val pp : Format.formatter -> encoding -> unit

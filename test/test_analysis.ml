@@ -245,10 +245,10 @@ let engine_recovery_matches_live () =
   let recovered = Engine.recover_annotations r in
   let live =
     List.init r.Engine.n_stmts (fun sid ->
-        ( Attrs.get_bt r.Engine.attrs sid,
-          Attrs.get_et r.Engine.attrs sid,
-          Attrs.get_reads r.Engine.attrs sid,
-          Attrs.get_writes r.Engine.attrs sid ))
+        ( Attrs.get_bt (Engine.attrs r) sid,
+          Attrs.get_et (Engine.attrs r) sid,
+          Attrs.get_reads (Engine.attrs r) sid,
+          Attrs.get_writes (Engine.attrs r) sid ))
   in
   check_bool "recovered = live" true (recovered = live)
 
@@ -266,7 +266,7 @@ let engine_storage_roundtrip () =
   if Sys.file_exists path then Sys.remove path;
   Ickpt_core.Storage.write_chain ~path r.Engine.chain;
   let chain, torn =
-    Ickpt_core.Storage.load_chain (Attrs.schema r.Engine.attrs) ~path
+    Ickpt_core.Storage.load_chain (Attrs.schema (Engine.attrs r)) ~path
   in
   check_bool "not torn" false torn;
   check_int "segment count" (Ickpt_core.Chain.length r.Engine.chain)

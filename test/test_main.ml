@@ -4,4 +4,5 @@ let () =
    @ Test_jspec.suites @ Test_minic.suites @ Test_analysis.suites
    @ Test_synth.suites @ Test_backend.suites @ Test_extras.suites
    @ Test_more.suites @ Test_staticcheck.suites @ Test_tv.suites
-   @ Test_faultsim.suites @ Test_elide.suites @ Test_store.suites)
+   @ Test_faultsim.suites @ Test_elide.suites @ Test_store.suites
+   @ Test_infer.suites)
