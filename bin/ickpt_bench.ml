@@ -254,6 +254,34 @@ let dedup_cmd =
       ret (const dedup $ files_arg $ out_arg $ repeats_arg $ epochs_arg
            $ pages_arg))
 
+let live_cmd =
+  let out_arg =
+    let doc = "Write the rows as JSON (the BENCH_6.json document) to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "o"; "json" ] ~docv:"PATH" ~doc)
+  in
+  let live out =
+    let rows = Ablation_live.measure_all () in
+    let ppf = Format.std_formatter in
+    Ablation_live.pp_table ppf rows;
+    let checks = Ablation_live.checks rows in
+    Workload.pp_checks ppf checks;
+    (match out with
+    | None -> ()
+    | Some path ->
+        let oc = open_out_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () -> output_string oc (Ablation_live.json rows));
+        Format.fprintf ppf "wrote %s@." path);
+    if Workload.all_ok checks then `Ok ()
+    else `Error (false, "liveness-minimization ablation checks failed")
+  in
+  let doc =
+    "measure checkpoint-set minimization by the interprocedural liveness \
+     analysis, gated per workload by the restore-equivalence oracle"
+  in
+  Cmd.v (Cmd.info "live" ~doc) Term.(ret (const live $ out_arg))
+
 let () =
   let doc =
     "benchmark harness for the incremental-checkpointing reproduction"
@@ -262,4 +290,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ run_cmd; list_cmd; micro_cmd; crash_cmd; barrier_cmd; dedup_cmd ]))
+          [ run_cmd; list_cmd; micro_cmd; crash_cmd; barrier_cmd; dedup_cmd;
+            live_cmd ]))

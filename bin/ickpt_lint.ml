@@ -27,10 +27,18 @@
      fallback), and the inferred barrier-elision plan. [--oracle] runs
      the differential oracle on the inferred pipeline; [--seed-unsound]
      mutates a synthesized shape before validation and demonstrates the
-     refusal.
+     refusal;
+   - [live]: interprocedural liveness and checkpoint-set minimization —
+     per-boundary live regions, the minimized (may-write ∩ live)
+     checkpoint set, and the live-extended elision plan. [--oracle] runs
+     the restore-equivalence oracle (restore, resume, containment);
+     [--seed-unsound] drops one live block from the minimized set — no
+     static finding fires, only the dynamic oracle catches it, so the
+     flag implies [--oracle] and the command must fail.
 
    All subcommands share one [--json] envelope: top-level [tool],
-   [subcommand], [errors], [warnings], [findings] and [exit_code].
+   [schema_version], [subcommand], [errors], [warnings], [findings] and
+   [exit_code].
 
    Exit codes (uniform across all subcommands): 0 — clean; 1 —
    error-severity findings (unsound declaration, refuted residual code,
@@ -400,6 +408,97 @@ let run_infer file workload seed_unsound oracle max_vars json =
       ~exit_code findings;
   if exit_code <> 0 then exit exit_code
 
+(* ---- live ------------------------------------------------------------------ *)
+
+let live_seed_unsound_arg =
+  let doc =
+    "Drop one live block from the first non-empty minimized region — the \
+     minimized checkpointer then skips state a later read needs. No \
+     static finding fires; the restore-equivalence oracle (implied by \
+     this flag) must catch the stale restore and the command must fail."
+  in
+  Arg.(value & flag & info [ "seed-unsound" ] ~doc)
+
+let live_oracle_arg =
+  let doc =
+    "Also run the restore-equivalence oracle: per minimized epoch, the \
+     restored live cells must match the unminimized restore, a run \
+     resumed from the minimized restore must produce the reference \
+     return value and final live state, and everything it reads before \
+     writing must lie inside the static live region."
+  in
+  Arg.(value & flag & info [ "oracle" ] ~doc)
+
+let run_live_cmd file workload seed_unsound oracle json =
+  let program = load_program file workload in
+  let env = check_program program in
+  let t = Staticcheck.Auto_spec.infer ~seed_dead:seed_unsound env in
+  let live = t.Staticcheck.Auto_spec.a_live in
+  if not json then begin
+    Format.printf "%a@." Staticcheck.Live.pp live;
+    List.iter
+      (fun (pr : Staticcheck.Auto_spec.phase_result) ->
+        Format.printf
+          "@[<v 2>%s minimized checkpoint set (may-write ∩ live):@,%a@]@."
+          pr.Staticcheck.Auto_spec.ph.Staticcheck.Phase_discover.p_name
+          (Format.pp_print_list (fun ppf (g, r) ->
+               Format.fprintf ppf "%-12s %a" g Staticcheck.Regions.pp r))
+          pr.Staticcheck.Auto_spec.ph_min_regions;
+        Format.printf "%a@." Staticcheck.Barrier_elide.pp_wplan
+          pr.Staticcheck.Auto_spec.ph_live_wplan)
+      t.Staticcheck.Auto_spec.a_phases
+  end;
+  (* The static pipeline stays silent on a seeded-dead block by design —
+     the whole point is that only the dynamic oracle gates it. *)
+  let oracle_findings = ref [] in
+  let oracle_ran = ref false in
+  let bytes = ref None in
+  if oracle || seed_unsound then begin
+    let name =
+      match file with
+      | Some path -> Filename.basename path
+      | None -> ( match workload with `Image -> "image" | `Small -> "small")
+    in
+    let o = Elide_oracle.run_live ~seed_unsound ~name program in
+    oracle_ran := true;
+    bytes :=
+      Some (o.Elide_oracle.lw_baseline_bytes, o.Elide_oracle.lw_minimized_bytes);
+    if not json then Format.printf "%a@." Elide_oracle.pp_live o;
+    oracle_findings :=
+      List.map
+        (fun (f : Elide_oracle.live_failure) ->
+          { Staticcheck.Finding.severity = Staticcheck.Finding.Error;
+            scope = "live-oracle";
+            path = Printf.sprintf "%s@epoch%d" f.Elide_oracle.lf_kind
+                f.Elide_oracle.lf_epoch;
+            reason = f.Elide_oracle.lf_detail })
+        o.Elide_oracle.lw_failures
+  end;
+  let findings =
+    Staticcheck.Finding.sort
+      (Staticcheck.Auto_spec.findings t @ !oracle_findings)
+  in
+  let exit_code = if Staticcheck.Finding.has_errors findings then 1 else 0 in
+  if json then begin
+    let extra =
+      [ ("boundaries",
+         string_of_int (List.length t.Staticcheck.Auto_spec.a_phases));
+        ("oracle_ok",
+         if !oracle_ran && !oracle_findings = [] then "true"
+         else if !oracle_ran then "false"
+         else "null") ]
+      @
+      match !bytes with
+      | Some (b, m) ->
+          [ ("baseline_bytes", string_of_int b);
+            ("minimized_bytes", string_of_int m) ]
+      | None -> []
+    in
+    print_envelope ~subcommand:"live" ~extra ~exit_code findings
+  end
+  else Format.printf "%a@." Staticcheck.Finding.pp_report findings;
+  if exit_code <> 0 then exit exit_code
+
 (* ---- command line --------------------------------------------------------- *)
 
 let exits =
@@ -429,6 +528,11 @@ let infer_term =
   Term.(
     const run_infer $ file_arg $ workload_arg $ infer_seed_unsound_arg
     $ infer_oracle_arg $ max_vars_arg $ json_arg)
+
+let live_term =
+  Term.(
+    const run_live_cmd $ file_arg $ workload_arg $ live_seed_unsound_arg
+    $ live_oracle_arg $ json_arg)
 
 let () =
   let doc = "static lint and translation validation of specialized code" in
@@ -465,10 +569,19 @@ let () =
          ~exits)
       infer_term
   in
+  let live_cmd =
+    Cmd.v
+      (Cmd.info "live"
+         ~doc:
+           "interprocedural liveness: minimize the checkpoint set and \
+            verify restore-equivalence of the minimized chain"
+         ~exits)
+      live_term
+  in
   let code =
     Cmd.eval
       (Cmd.group ~default:lint_term info
-         [ lint_cmd; verify_cmd; elide_cmd; infer_cmd ])
+         [ lint_cmd; verify_cmd; elide_cmd; infer_cmd; live_cmd ])
   in
   (* Normalize cmdliner's CLI-error code to the documented usage-error 2. *)
   exit (if code = Cmd.Exit.cli_error then 2 else code)

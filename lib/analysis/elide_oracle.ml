@@ -282,6 +282,431 @@ let run_inferred ~name program =
     segments_checked;
     dirty_cells }
 
+(* ---- restore-equivalence oracle for minimized checkpoints ------------------ *)
+
+(* Minimized checkpoints are NOT byte-identical to unminimized ones by
+   construction — dropping dead dirty blocks is the whole point. Their
+   soundness contract is semantic: restoring any epoch of the minimized
+   chain must agree with the unminimized restore on every cell the
+   static liveness marks live at that epoch's boundary, and a run
+   resumed from the minimized restore must behave identically (return
+   value, final live state). Containment closes the loop on the static
+   analysis itself: everything the resumed run reads before writing must
+   be inside the boundary's live region. *)
+
+type live_failure = { lf_epoch : int; lf_kind : string; lf_detail : string }
+
+type live_outcome = {
+  lw_workload : string;
+  lw_seeded : bool;
+  lw_epochs : int;
+  lw_live_cells : int;
+  lw_resumes : int;
+  lw_reads_checked : int;
+  lw_baseline_bytes : int;
+  lw_minimized_bytes : int;
+  lw_failures : live_failure list;
+}
+
+let live_ok o = o.lw_failures = []
+
+(* A restored chain prefix flattened back to plain global values,
+   declaration order. *)
+type image = {
+  im_scalars : (string * int) list;
+  im_arrays : (string * int array) list;
+}
+
+let rec take n = function
+  | [] -> []
+  | x :: rest -> if n <= 0 then [] else x :: take (n - 1) rest
+
+let image_of_prefix (encoding : Staticcheck.Shape_infer.encoding) segs =
+  let schema = encoding.Staticcheck.Shape_infer.schema in
+  let roots =
+    match segs with
+    | (s : Segment.t) :: _ -> s.Segment.roots
+    | [] -> invalid_arg "Elide_oracle: empty chain prefix"
+  in
+  let _, objs = Restore.of_segments schema segs ~roots in
+  let scalars = ref [] in
+  let arrays = ref [] in
+  List.iter2
+    (fun (name, slot) (o : Ickpt_runtime.Model.obj) ->
+      match slot with
+      | Staticcheck.Shape_infer.Scalar _ ->
+          scalars := (name, o.Ickpt_runtime.Model.ints.(0)) :: !scalars
+      | Staticcheck.Shape_infer.Array { blocks; length; _ } ->
+          let a = Array.make length 0 in
+          List.iteri
+            (fun j (b : Staticcheck.Shape_infer.block) ->
+              match o.Ickpt_runtime.Model.children.(j) with
+              | Some blk ->
+                  for i = b.Staticcheck.Shape_infer.b_lo
+                      to b.Staticcheck.Shape_infer.b_hi do
+                    a.(i) <-
+                      blk.Ickpt_runtime.Model.ints.(i
+                                                    - b.Staticcheck.Shape_infer
+                                                        .b_lo)
+                  done
+              | None -> raise (Restore.Error "restored array block missing"))
+            blocks;
+          arrays := (name, a) :: !arrays)
+    encoding.Staticcheck.Shape_infer.slots objs;
+  { im_scalars = List.rev !scalars; im_arrays = List.rev !arrays }
+
+(* A plain concrete store with read/write tracking: once [ts_tracking] is
+   switched on (at the resume point), every cell read before this run
+   writes it lands in [ts_rbw] — the dynamic reads-before-write set the
+   containment check compares against the static live region. *)
+type tstore = {
+  ts_scalars : (string, int) Hashtbl.t;
+  ts_arrays : (string, int array) Hashtbl.t;
+  mutable ts_tracking : bool;
+  ts_written : (string * int, unit) Hashtbl.t;
+  ts_rbw : (string * int, unit) Hashtbl.t;
+}
+
+let tstore_create (encoding : Staticcheck.Shape_infer.encoding) =
+  let inits =
+    List.map
+      (fun (d : Minic.Ast.var_decl) -> (d.Minic.Ast.v_name, d.Minic.Ast.v_init))
+      encoding.Staticcheck.Shape_infer.enc_env.Minic.Check.program
+        .Minic.Ast.globals
+  in
+  let ts =
+    { ts_scalars = Hashtbl.create 8;
+      ts_arrays = Hashtbl.create 8;
+      ts_tracking = false;
+      ts_written = Hashtbl.create 64;
+      ts_rbw = Hashtbl.create 64 }
+  in
+  List.iter
+    (fun (name, slot) ->
+      match slot with
+      | Staticcheck.Shape_infer.Scalar _ ->
+          Hashtbl.replace ts.ts_scalars name (List.assoc name inits)
+      | Staticcheck.Shape_infer.Array { length; _ } ->
+          Hashtbl.replace ts.ts_arrays name (Array.make length 0))
+    encoding.Staticcheck.Shape_infer.slots;
+  ts
+
+let tstore_store ts =
+  let read g i =
+    if ts.ts_tracking && not (Hashtbl.mem ts.ts_written (g, i)) then
+      Hashtbl.replace ts.ts_rbw (g, i) ()
+  in
+  let wrote g i = if ts.ts_tracking then Hashtbl.replace ts.ts_written (g, i) () in
+  { Minic.Interp.gs_get =
+      (fun x ->
+        read x 0;
+        Hashtbl.find ts.ts_scalars x);
+    gs_set =
+      (fun x v ->
+        wrote x 0;
+        Hashtbl.replace ts.ts_scalars x v);
+    gs_get_cell =
+      (fun x i ->
+        read x i;
+        (Hashtbl.find ts.ts_arrays x).(i));
+    gs_set_cell =
+      (fun x i v ->
+        wrote x i;
+        (Hashtbl.find ts.ts_arrays x).(i) <- v);
+    gs_length = (fun x -> Array.length (Hashtbl.find ts.ts_arrays x)) }
+
+(* Overwrite the whole store with a restored image — the restore itself,
+   not program writes: tracking state is untouched. *)
+let tstore_overwrite ts img =
+  List.iter (fun (g, v) -> Hashtbl.replace ts.ts_scalars g v) img.im_scalars;
+  List.iter
+    (fun (g, a) ->
+      let dst = Hashtbl.find ts.ts_arrays g in
+      Array.blit a 0 dst 0 (Array.length a))
+    img.im_arrays
+
+let tstore_image ts (encoding : Staticcheck.Shape_infer.encoding) =
+  { im_scalars =
+      List.filter_map
+        (fun (name, slot) ->
+          match slot with
+          | Staticcheck.Shape_infer.Scalar _ ->
+              Some (name, Hashtbl.find ts.ts_scalars name)
+          | _ -> None)
+        encoding.Staticcheck.Shape_infer.slots;
+    im_arrays =
+      List.filter_map
+        (fun (name, slot) ->
+          match slot with
+          | Staticcheck.Shape_infer.Array _ ->
+              Some (name, Array.copy (Hashtbl.find ts.ts_arrays name))
+          | _ -> None)
+        encoding.Staticcheck.Shape_infer.slots }
+
+(* Re-drive the program through its discovered phase structure against
+   [store], mirroring the engine's checkpoint placement exactly (one per
+   setup body, one per round iteration including the final false-guard
+   evaluation, halted phases take none). [on_checkpoint k] fires where
+   checkpoint [k] would be taken. Returns (checkpoints, returned,
+   return value). *)
+let drive ~(phases : Staticcheck.Auto_spec.phase_result list) ~store program
+    ~on_checkpoint =
+  let session = Minic.Interp.Session.start ~store program in
+  let halted = ref false in
+  let ret = ref None in
+  let k = ref 0 in
+  let step () =
+    on_checkpoint !k;
+    incr k
+  in
+  List.iter
+    (fun (pr : Staticcheck.Auto_spec.phase_result) ->
+      let ph = pr.Staticcheck.Auto_spec.ph in
+      if not !halted then begin
+        let exec_body () =
+          try
+            Minic.Interp.Session.exec_block session
+              ph.Staticcheck.Phase_discover.p_body
+          with Minic.Interp.Session.Halted v ->
+            halted := true;
+            ret := v
+        in
+        match ph.Staticcheck.Phase_discover.p_kind with
+        | Staticcheck.Phase_discover.Setup ->
+            exec_body ();
+            step ()
+        | Staticcheck.Phase_discover.Round { cond } ->
+            let continue = ref true in
+            while !continue do
+              if !halted then continue := false
+              else begin
+                let v = Minic.Interp.Session.eval session cond in
+                if v = 0 then continue := false else exec_body ();
+                step ()
+              end
+            done
+      end)
+    phases;
+  (!k, !halted, !ret)
+
+let run_live ?(seed_unsound = false) ~name program =
+  let baseline =
+    Engine.analyze ~infer:true ~mode:Engine.Specialized ~guard:true
+      ~elide:false program
+  in
+  let minimized =
+    Engine.analyze ~infer:true ~mode:Engine.Specialized ~guard:true
+      ~elide:true ~minimize:true ~seed_dead:seed_unsound program
+  in
+  let auto = Option.get (Engine.auto_spec baseline) in
+  let auto_m = Option.get (Engine.auto_spec minimized) in
+  let enc = auto.Staticcheck.Auto_spec.a_encoding in
+  let enc_m = auto_m.Staticcheck.Auto_spec.a_encoding in
+  let live = auto.Staticcheck.Auto_spec.a_live in
+  let failures = ref [] in
+  let live_cells = ref 0 in
+  let reads_checked = ref 0 in
+  let resumes = ref 0 in
+  let fail e kind fmt =
+    Format.kasprintf
+      (fun s ->
+        failures := { lf_epoch = e; lf_kind = kind; lf_detail = s } :: !failures)
+      fmt
+  in
+  let split_chain (c : Chain.t) =
+    let segs = Chain.segments c in
+    ( List.filter (fun (s : Segment.t) -> s.Segment.kind = Segment.Full) segs,
+      List.filter
+        (fun (s : Segment.t) -> s.Segment.kind = Segment.Incremental)
+        segs )
+  in
+  let full_b, inc_b = split_chain baseline.Engine.chain in
+  let full_m, inc_m = split_chain minimized.Engine.chain in
+  let bytes segs =
+    List.fold_left (fun acc s -> acc + Segment.body_size s) 0
+      (List.map (fun (s : Segment.t) -> s) segs)
+  in
+  let epochs_b = List.length inc_b in
+  let epochs_m = List.length inc_m in
+  if epochs_b <> epochs_m then
+    fail (-1) "chain"
+      "baseline took %d incremental checkpoint(s), minimized %d: the runs \
+       diverged before any restore"
+      epochs_b epochs_m;
+  let epochs = min epochs_b epochs_m in
+  (* Epoch -> the phase whose boundary covers it, positionally (round
+     boundaries are loop-head fixpoints, so every iteration of a round
+     shares the phase's boundary soundly). *)
+  let epoch_pr =
+    Array.of_list
+      (List.concat_map
+         (fun ((p : Engine.phase_report),
+               (pr : Staticcheck.Auto_spec.phase_result)) ->
+           List.init p.Engine.iterations (fun _ -> pr))
+         (List.combine baseline.Engine.phases
+            auto.Staticcheck.Auto_spec.a_phases))
+  in
+  let cell_live boundary g i =
+    match List.assoc_opt g boundary with
+    | Some r -> Staticcheck.Regions.mem i r
+    | None -> false
+  in
+  (* Reference run: the same driver, no switch — what a never-crashed
+     execution observes on this store implementation. *)
+  let ref_ts = tstore_create enc in
+  let ref_epochs, ref_halted, ref_ret =
+    drive ~phases:auto.Staticcheck.Auto_spec.a_phases
+      ~store:(tstore_store ref_ts) program ~on_checkpoint:(fun _ -> ())
+  in
+  let ref_final = tstore_image ref_ts enc in
+  if ref_epochs <> epochs_b then
+    fail (-1) "chain"
+      "re-driven reference run took %d checkpoint(s), engine run %d"
+      ref_epochs epochs_b;
+  for e = 0 to epochs - 1 do
+    let pr = epoch_pr.(e) in
+    let boundary =
+      Staticcheck.Live.boundary live
+        pr.Staticcheck.Auto_spec.ph.Staticcheck.Phase_discover.p_index
+    in
+    let prefix_b = full_b @ take (e + 1) inc_b in
+    let prefix_m = full_m @ take (e + 1) inc_m in
+    let img_b = image_of_prefix enc prefix_b in
+    let img_m = image_of_prefix enc_m prefix_m in
+    (* 1. Restored live cells must agree with the unminimized restore. *)
+    List.iter2
+      (fun (g, vb) (g', vm) ->
+        assert (g = g');
+        if cell_live boundary g 0 then begin
+          incr live_cells;
+          if vb <> vm then
+            fail e "restore"
+              "scalar %s live at the %s boundary restores to %d minimized \
+               vs %d baseline"
+              g pr.Staticcheck.Auto_spec.ph.Staticcheck.Phase_discover.p_name
+              vm vb
+        end)
+      img_b.im_scalars img_m.im_scalars;
+    List.iter2
+      (fun (g, ab) (g', am) ->
+        assert (g = g');
+        for i = 0 to Array.length ab - 1 do
+          if cell_live boundary g i then begin
+            incr live_cells;
+            if ab.(i) <> am.(i) then
+              fail e "restore"
+                "%s[%d] live at the %s boundary restores to %d minimized vs \
+                 %d baseline"
+                g i
+                pr.Staticcheck.Auto_spec.ph.Staticcheck.Phase_discover.p_name
+                am.(i) ab.(i)
+          end
+        done)
+      img_b.im_arrays img_m.im_arrays;
+    (* 2. Resume from the minimized restore and run to completion. *)
+    let ts = tstore_create enc in
+    let switched = ref false in
+    let res =
+      (* A runtime error after the switch is itself a divergence (the
+         reference run completed): report it, don't propagate. *)
+      try
+        Some
+          (drive ~phases:auto.Staticcheck.Auto_spec.a_phases
+             ~store:(tstore_store ts) program ~on_checkpoint:(fun k ->
+               if k = e then begin
+                 tstore_overwrite ts img_m;
+                 ts.ts_tracking <- true;
+                 switched := true
+               end))
+      with Minic.Interp.Runtime_error msg ->
+        fail e "resume-crash"
+          "resumed run raised a runtime error the reference run did not: %s"
+          msg;
+        None
+    in
+    incr resumes;
+    (match res with
+    | None -> ()
+    | Some (_, res_halted, res_ret) ->
+    if not !switched then
+      fail e "chain" "resume driver never reached checkpoint %d" e
+    else begin
+      (* 2a. Observable output: a return executed after the switch must
+         produce the reference value. *)
+      if res_halted <> ref_halted then
+        fail e "resume-return"
+          "resumed run %s while the reference run %s"
+          (if res_halted then "returned" else "fell off main")
+          (if ref_halted then "returned" else "fell off main")
+      else if res_halted && res_ret <> ref_ret then
+        fail e "resume-return" "resumed run returned %s, reference %s"
+          (match res_ret with Some v -> string_of_int v | None -> "(none)")
+          (match ref_ret with Some v -> string_of_int v | None -> "(none)");
+      (* 2b. Final state on cells that matter: live at the switch
+         boundary, or written after the switch. Dead unwritten cells may
+         legitimately hold stale restored values. *)
+      let final = tstore_image ts enc in
+      let relevant g i =
+        cell_live boundary g i || Hashtbl.mem ts.ts_written (g, i)
+      in
+      List.iter2
+        (fun (g, vr) (g', vf) ->
+          assert (g = g');
+          if relevant g 0 && vr <> vf then
+            fail e "resume-state" "final scalar %s is %d resumed vs %d \
+                                   reference" g vf vr)
+        ref_final.im_scalars final.im_scalars;
+      List.iter2
+        (fun (g, ar) (g', af) ->
+          assert (g = g');
+          for i = 0 to Array.length ar - 1 do
+            if relevant g i && ar.(i) <> af.(i) then
+              fail e "resume-state" "final %s[%d] is %d resumed vs %d \
+                                     reference" g i af.(i) ar.(i)
+          done)
+        ref_final.im_arrays final.im_arrays;
+      (* 3. Containment: everything the resumed run read before writing
+         must be inside the static live region — the liveness dual of
+         invariant I8. *)
+      Hashtbl.iter
+        (fun (g, i) () ->
+          incr reads_checked;
+          if not (cell_live boundary g i) then
+            fail e "containment"
+              "resumed run read %s[%d] before writing it, but the %s \
+               boundary's live region excludes it"
+              g i
+              pr.Staticcheck.Auto_spec.ph.Staticcheck.Phase_discover.p_name)
+        ts.ts_rbw
+    end)
+  done;
+  { lw_workload = name;
+    lw_seeded = seed_unsound;
+    lw_epochs = epochs;
+    lw_live_cells = !live_cells;
+    lw_resumes = !resumes;
+    lw_reads_checked = !reads_checked;
+    lw_baseline_bytes = bytes inc_b;
+    lw_minimized_bytes = bytes inc_m;
+    lw_failures = List.rev !failures }
+
+let pp_live ppf o =
+  Format.fprintf ppf "@[<v 2>%s%s: %s" o.lw_workload
+    (if o.lw_seeded then " (seeded-unsound)" else "")
+    (if live_ok o then "ok" else "FAILED");
+  Format.fprintf ppf
+    "@,%d epoch(s): %d live cell(s) restore-checked, %d resume(s), %d \
+     read(s) containment-checked"
+    o.lw_epochs o.lw_live_cells o.lw_resumes o.lw_reads_checked;
+  Format.fprintf ppf "@,incremental bytes: %d baseline, %d minimized"
+    o.lw_baseline_bytes o.lw_minimized_bytes;
+  List.iter
+    (fun f ->
+      Format.fprintf ppf "@,[epoch %d] %s: %s" f.lf_epoch f.lf_kind
+        f.lf_detail)
+    o.lw_failures;
+  Format.fprintf ppf "@]"
+
 let builtin_workloads () =
   [ ("image", Minic.Gen.image_program ());
     ("small", Minic.Gen.small_program ()) ]

@@ -55,6 +55,58 @@ val run_inferred : name:string -> Minic.Ast.program -> outcome
     [violation.site] carries the global name, [violation.sid] the first
     cell of the offending block. *)
 
+(** {1 Restore-equivalence oracle for minimized checkpoints}
+
+    Minimized chains ([Engine.analyze ~infer ~minimize]) are not
+    byte-identical to unminimized ones by construction, so byte identity
+    cannot be their soundness check. {!run_live} verifies the semantic
+    contract instead, per epoch of the minimized chain:
+
+    - {b restore}: restoring the chain prefix up to that epoch agrees
+      with the unminimized restore on every cell the static
+      {!Staticcheck.Live} analysis marks live at the epoch's boundary;
+    - {b resume}: a run re-driven to the epoch, switched onto the
+      minimized restore, and run to completion produces the reference
+      return value and final state (compared on live-or-rewritten
+      cells — dead unwritten cells may hold stale restored values);
+    - {b containment}: every cell the resumed run reads before writing
+      lies inside the boundary's live region — the liveness dual of I8
+      (static live ⊇ dynamic read-before-write). *)
+
+type live_failure = {
+  lf_epoch : int;  (** 0-based incremental epoch; [-1] = whole-run *)
+  lf_kind : string;
+      (** ["restore"], ["resume-return"], ["resume-state"],
+          ["containment"], or ["chain"] *)
+  lf_detail : string;
+}
+
+type live_outcome = {
+  lw_workload : string;
+  lw_seeded : bool;  (** ran with [seed_unsound] *)
+  lw_epochs : int;  (** incremental epochs checked *)
+  lw_live_cells : int;  (** live cells restore-compared, total *)
+  lw_resumes : int;  (** resumed executions completed *)
+  lw_reads_checked : int;  (** post-switch reads containment-checked *)
+  lw_baseline_bytes : int;  (** incremental bytes, unminimized chain *)
+  lw_minimized_bytes : int;  (** incremental bytes, minimized chain *)
+  lw_failures : live_failure list;  (** empty when equivalent *)
+}
+
+val live_ok : live_outcome -> bool
+
+val run_live :
+  ?seed_unsound:bool -> name:string -> Minic.Ast.program -> live_outcome
+(** Two engine runs (guarded-specialized baseline; minimized with
+    live-extended elision), then per epoch: both prefixes restored and
+    compared on live cells, one resumed execution, and the containment
+    check. [seed_unsound] passes [seed_dead] to the minimized run —
+    one deliberately mis-minimized block that {e must} surface as a
+    failure here (no static finding fires), proving this oracle gates.
+    @raise Engine.Verification_failed as [Engine.analyze ~infer] does. *)
+
+val pp_live : Format.formatter -> live_outcome -> unit
+
 val builtin_workloads : unit -> (string * Minic.Ast.program) list
 (** The generator workloads the test suite and CLI default to:
     the image program and the small program of {!Minic.Gen}. *)

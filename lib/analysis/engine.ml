@@ -324,8 +324,8 @@ let analyze_declared ?(mode = Incremental) ?division ?(sea_min = 1)
    root with the residual routine compiled for that root's inferred
    per-phase shape (all drawn from the inference run's spec cache) and
    appends the segment manually, exactly like the declared-run step. *)
-let workload_checkpoint_step ~mode ~measure_traversal ~guard ~elide ~chain
-    ~(wheap : Wheap.t) ~(auto : Staticcheck.Auto_spec.t)
+let workload_checkpoint_step ~mode ~measure_traversal ~guard ~elide ~minimize
+    ~chain ~(wheap : Wheap.t) ~(auto : Staticcheck.Auto_spec.t)
     ~(pr : Staticcheck.Auto_spec.phase_result) () =
   let roots = Wheap.roots wheap in
   let take f =
@@ -355,6 +355,13 @@ let workload_checkpoint_step ~mode ~measure_traversal ~guard ~elide ~chain
                     | v :: _ -> raise (Jspec.Guard.Violated v))
                 pr.Staticcheck.Auto_spec.ph_shapes)
       in
+      (* Minimized runs record under the pruned shapes — dirty-but-dead
+         blocks demoted — while the guard above keeps validating the
+         original shapes, which the dynamic heap actually conforms to. *)
+      let record_shapes =
+        if minimize then pr.Staticcheck.Auto_spec.ph_min_shapes
+        else pr.Staticcheck.Auto_spec.ph_shapes
+      in
       let record sink =
         List.iter
           (fun (g, shape) ->
@@ -362,7 +369,7 @@ let workload_checkpoint_step ~mode ~measure_traversal ~guard ~elide ~chain
               Jspec.Spec_cache.runner auto.Staticcheck.Auto_spec.a_cache shape
             in
             runner sink (Wheap.root_of wheap g))
-          pr.Staticcheck.Auto_spec.ph_shapes
+          record_shapes
       in
       let d = Ickpt_stream.Out_stream.create () in
       let (), seconds = Clock.time (fun () -> record d) in
@@ -385,6 +392,11 @@ let workload_checkpoint_step ~mode ~measure_traversal ~guard ~elide ~chain
           let (), s = Clock.time (fun () -> record sink) in
           Some s
       in
+      (* A minimized recorder consumes only the flags of the blocks it
+         keeps; a demoted block's flag would stay set and trip a later
+         phase's (original-shape) cleanliness guard. Sweep the graph
+         clean: the checkpoint this step took is the new baseline. *)
+      if minimize then Wheap.clear_modified wheap;
       { bytes = String.length body;
         seconds;
         traversal_seconds;
@@ -399,21 +411,32 @@ let workload_checkpoint_step ~mode ~measure_traversal ~guard ~elide ~chain
    the run: the partial round is still checkpointed, later phases take
    zero checkpoints. *)
 let analyze_inferred ?(mode = Incremental) ?(measure_traversal = false)
-    ?(guard = false) ?(elide = false) program =
+    ?(guard = false) ?(elide = false) ?(minimize = false)
+    ?(seed_dead = false) program =
+  if minimize && mode <> Specialized then
+    invalid_arg
+      "Engine.analyze: ~minimize requires Specialized mode (pruned \
+       residual checkpointers)";
   let env = Minic.Check.check program in
-  let auto = Staticcheck.Auto_spec.infer env in
+  let auto = Staticcheck.Auto_spec.infer ~seed_dead env in
   let failures =
     List.concat_map
       (fun (pr : Staticcheck.Auto_spec.phase_result) ->
-        List.filter_map
-          (fun (g, v) ->
-            if Staticcheck.Tv.ok v then None
-            else
-              Some
-                ( pr.Staticcheck.Auto_spec.ph.Staticcheck.Phase_discover.p_name
-                  ^ "/" ^ g,
-                  v ))
-          pr.Staticcheck.Auto_spec.ph_verdicts)
+        let gate verdicts =
+          List.filter_map
+            (fun (g, v) ->
+              if Staticcheck.Tv.ok v then None
+              else
+                Some
+                  ( pr.Staticcheck.Auto_spec.ph
+                      .Staticcheck.Phase_discover.p_name ^ "/" ^ g,
+                    v ))
+            verdicts
+        in
+        gate pr.Staticcheck.Auto_spec.ph_verdicts
+        @
+        if minimize then gate pr.Staticcheck.Auto_spec.ph_min_verdicts
+        else [])
       auto.Staticcheck.Auto_spec.a_phases
   in
   (* The inference contract is unconditional: verified or refused. This
@@ -434,15 +457,20 @@ let analyze_inferred ?(mode = Incremental) ?(measure_traversal = false)
         let ph = pr.Staticcheck.Auto_spec.ph in
         Wheap.set_elided wheap
           (if elide then
+             (* Minimized runs use the live-extended plan: barriers on
+                write-only-before-death globals are dead weight (their
+                flags guard state no minimized checkpoint records).
+                Byte-identity runs must keep the may-write-only plan. *)
              Staticcheck.Barrier_elide.welided
-               pr.Staticcheck.Auto_spec.ph_wplan
+               (if minimize then pr.Staticcheck.Auto_spec.ph_live_wplan
+                else pr.Staticcheck.Auto_spec.ph_wplan)
            else []);
         let stats = ref [] in
         let ckp_total = ref 0.0 in
         let step () =
           let stat =
             workload_checkpoint_step ~mode ~measure_traversal ~guard ~elide
-              ~chain ~wheap ~auto ~pr ()
+              ~minimize ~chain ~wheap ~auto ~pr ()
           in
           ckp_total :=
             !ckp_total +. stat.seconds +. stat.guard_seconds
@@ -493,8 +521,10 @@ let analyze_inferred ?(mode = Incremental) ?(measure_traversal = false)
     elide_plans = [] }
 
 let analyze ?mode ?division ?sea_min ?bta_min ?eta_min ?measure_traversal
-    ?guard ?preflight ?elide ?(infer = false) program =
-  if infer then analyze_inferred ?mode ?measure_traversal ?guard ?elide program
+    ?guard ?preflight ?elide ?(infer = false) ?minimize ?seed_dead program =
+  if infer then
+    analyze_inferred ?mode ?measure_traversal ?guard ?elide ?minimize
+      ?seed_dead program
   else
     analyze_declared ?mode ?division ?sea_min ?bta_min ?eta_min
       ?measure_traversal ?guard ?preflight ?elide program

@@ -91,6 +91,8 @@ val analyze :
   ?preflight:bool ->
   ?elide:bool ->
   ?infer:bool ->
+  ?minimize:bool ->
+  ?seed_dead:bool ->
   Minic.Ast.program ->
   report
 (** Defaults: [mode = Incremental]; [division] = the program's globals
@@ -127,6 +129,21 @@ val analyze :
     ignored; [elide] uses the inferred per-global
     {!Staticcheck.Barrier_elide.wplan}s; [guard] validates each root
     against its inferred shape before every specialized checkpoint.
+
+    [minimize = false]: when true (inferred [Specialized] runs only —
+    [Invalid_argument] otherwise), each checkpoint records under the
+    {e minimized} shapes ([Staticcheck.Auto_spec.ph_min_shapes]:
+    may-write ∩ live per the {!Staticcheck.Live} analysis, dead dirty
+    blocks demoted), guards keep validating the original shapes, [elide]
+    switches to the live-extended plans, and every specialized step ends
+    with a {!Wheap.clear_modified} sweep so demoted blocks' stale flags
+    cannot trip later guards. Minimized segments are {e not}
+    byte-identical to unminimized ones by construction; their soundness
+    contract is restore-equivalence, verified by
+    [Ickpt_analysis.Elide_oracle.run_live]. [seed_dead] (inferred runs)
+    is passed to {!Staticcheck.Auto_spec.infer}: one live block is
+    deliberately dropped from the minimized set, which the
+    restore-equivalence oracle must catch.
 
     The chain in the result can be recovered to verify the checkpointed
     analysis state (see the crash-recovery example). *)

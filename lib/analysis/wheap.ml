@@ -102,6 +102,18 @@ let set_elided t names =
 
 let is_elided t name = Hashtbl.mem t.elided name
 
+let clear_modified t =
+  List.iter
+    (fun (_, r) ->
+      match r with
+      | R_scalar o -> o.Model.info.Model.modified <- false
+      | R_array a ->
+          a.a_header.Model.info.Model.modified <- false;
+          Array.iter
+            (fun (_, o) -> o.Model.info.Model.modified <- false)
+            a.a_blocks)
+    t.reprs
+
 (* ---- the interpreter-facing store ----------------------------------------- *)
 
 let scalar t x =

@@ -52,6 +52,15 @@ val set_elided : t -> string list -> unit
 
 val is_elided : t -> string -> bool
 
+val clear_modified : t -> unit
+(** Clear the [modified] flag on every object of the graph. Minimized
+    checkpoints need this: a demoted (dirty-but-dead) block is skipped by
+    the residual checkpointer, so its flag would otherwise stay set and
+    trip a {e later} phase's cleanliness guard — which still validates
+    the original (unminimized) shapes. The generic and byte-identity
+    specialized paths never call this; their checkpointers clear exactly
+    the flags they consume. *)
+
 val store : t -> Minic.Interp.global_store
 (** The interpreter-facing view. Raises [Minic.Interp.Runtime_error] on
     scalar/array misuse (checked programs never do). *)

@@ -26,7 +26,10 @@ let all =
       run = Ablation_barrier.run };
     { name = Ablation_dedup.name;
       title = Ablation_dedup.title;
-      run = Ablation_dedup.run } ]
+      run = Ablation_dedup.run };
+    { name = Ablation_live.name;
+      title = Ablation_live.title;
+      run = Ablation_live.run } ]
 
 let find name = List.find_opt (fun e -> e.name = name) all
 

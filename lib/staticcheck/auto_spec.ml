@@ -10,12 +10,18 @@ type phase_result = {
   ph_shapes : (string * Sclass.shape) list;
   ph_verdicts : (string * Tv.verdict) list;
   ph_wplan : Barrier_elide.wplan;
+  ph_live : (string * Regions.t) list;
+  ph_min_regions : (string * Regions.t) list;
+  ph_min_shapes : (string * Sclass.shape) list;
+  ph_min_verdicts : (string * Tv.verdict) list;
+  ph_live_wplan : Barrier_elide.wplan;
 }
 
 type t = {
   a_env : Minic.Check.env;
   a_encoding : Shape_infer.encoding;
   a_phases : phase_result list;
+  a_live : Live.t;
   a_cache : Spec_cache.t;
   a_findings : Finding.t list;
 }
@@ -81,11 +87,28 @@ let converge_dirty ~round phase_env ~originals havoc0 =
   in
   go havoc0
 
-let infer ?(seed_unsound = false) ?max_vars ?cache (env : Minic.Check.env) =
+(* Drop one live block from a non-empty minimized region: the
+   seeded-unsound mutation for the {e liveness} gate. The minimized
+   checkpointer then skips a block whose value some later read needs —
+   the restore-equivalence oracle must catch the stale restore. *)
+let seed_dead_region encoding g r =
+  match Shape_infer.slot_of encoding g with
+  | Shape_infer.Scalar _ -> Regions.bot
+  | Shape_infer.Array { length; _ } -> (
+      match Shape_infer.tracked_blocks encoding g r with
+      | [] -> Regions.bot
+      | b :: _ ->
+          Regions.meet r
+            (Regions.complement_in ~lo:0 ~hi:(length - 1)
+               (Regions.interval b.Shape_infer.b_lo b.Shape_infer.b_hi)))
+
+let infer ?(seed_unsound = false) ?(seed_dead = false) ?max_vars ?cache
+    (env : Minic.Check.env) =
   let cache = match cache with Some c -> c | None -> Spec_cache.create () in
   let encoding = Shape_infer.encode env in
   let originals = original_globals env in
   let phases = Phase_discover.discover env in
+  let live = Live.analyze env phases in
   (* One verdict per structural shape per run; the boolean lands in the
      spec cache so the engine's verified-specialized mode reuses it. *)
   let verdicts = Hashtbl.create 16 in
@@ -108,6 +131,7 @@ let infer ?(seed_unsound = false) ?max_vars ?cache (env : Minic.Check.env) =
           v
   in
   let earlier_writes = ref [] in
+  let seeded_dead = ref (not seed_dead) in
   let a_phases =
     List.map
       (fun (ph : Phase_discover.phase) ->
@@ -139,15 +163,50 @@ let infer ?(seed_unsound = false) ?max_vars ?cache (env : Minic.Check.env) =
           Barrier_elide.workload_plan ~phase:ph.Phase_discover.p_name encoding
             ph_regions
         in
+        (* Minimization: the specialized checkpointer only needs the
+           cells that are both may-written this phase and still live at
+           this phase's boundary — everything else restores correctly
+           from an older segment (unwritten) or is never read again
+           (dead). *)
+        let ph_live = Live.boundary live ph.Phase_discover.p_index in
+        let ph_min_regions =
+          List.map
+            (fun (g, r) ->
+              let lr =
+                match List.assoc_opt g ph_live with
+                | Some lr -> lr
+                | None -> Regions.bot
+              in
+              let min_r = Regions.meet r lr in
+              if (not !seeded_dead) && not (Regions.is_bot min_r) then begin
+                seeded_dead := true;
+                (g, seed_dead_region encoding g min_r)
+              end
+              else (g, min_r))
+            ph_regions
+        in
+        let ph_min_shapes =
+          List.map
+            (fun (g, r) -> (g, Shape_infer.shape_of encoding g r))
+            ph_min_regions
+        in
+        let ph_min_verdicts =
+          List.map (fun (g, s) -> (g, validate s)) ph_min_shapes
+        in
+        let ph_live_wplan =
+          Barrier_elide.workload_plan_live ~phase:ph.Phase_discover.p_name
+            ph_regions ph_live
+        in
         { ph; ph_env; ph_havoc; ph_effects; ph_dirty; ph_regions; ph_shapes;
-          ph_verdicts; ph_wplan })
+          ph_verdicts; ph_wplan; ph_live; ph_min_regions; ph_min_shapes;
+          ph_min_verdicts; ph_live_wplan })
       phases
   in
   let a_findings =
     List.concat_map
       (fun pr ->
         let phase = pr.ph.Phase_discover.p_name in
-        let tv_findings =
+        let tv_of scope verdicts =
           List.filter_map
             (fun (g, v) ->
               if Tv.ok v then None
@@ -155,15 +214,19 @@ let infer ?(seed_unsound = false) ?max_vars ?cache (env : Minic.Check.env) =
                 (* Refuted and Unsupported are both hard errors: the
                    contract of [infer] is "verified specialized
                    checkpointer or refusal", never a silent fallback to
-                   the generic algorithm. *)
+                   the generic algorithm. Minimized shapes are held to
+                   the same bar — a pruned checkpointer runs only when
+                   its residual code verified. *)
                 Some
                   { Finding.severity = Finding.Error;
-                    scope = "infer-tv:" ^ phase;
+                    scope = scope ^ ":" ^ phase;
                     path = g;
                     reason = Format.asprintf "%a" Tv.pp v })
-            pr.ph_verdicts
+            verdicts
         in
-        tv_findings @ pr.ph_wplan.Barrier_elide.wfindings)
+        tv_of "infer-tv" pr.ph_verdicts
+        @ tv_of "live-tv" pr.ph_min_verdicts
+        @ pr.ph_wplan.Barrier_elide.wfindings)
       a_phases
   in
   let a_findings =
@@ -177,9 +240,21 @@ let infer ?(seed_unsound = false) ?max_vars ?cache (env : Minic.Check.env) =
       :: a_findings
     else a_findings
   in
+  let a_findings =
+    if seed_dead && not !seeded_dead then
+      { Finding.severity = Finding.Warning;
+        scope = "live";
+        path = "-";
+        reason =
+          "seed-unsound: no dirty region is live at any boundary, nothing \
+           to mis-minimize" }
+      :: a_findings
+    else a_findings
+  in
   { a_env = env;
     a_encoding = encoding;
     a_phases;
+    a_live = live;
     a_cache = cache;
     a_findings = Finding.dedup a_findings }
 
@@ -241,7 +316,14 @@ let pp ppf t =
              let v = List.assoc g pr.ph_verdicts in
              pp_shape_line t.a_encoding ppf (g, s, v)))
         pr.ph_shapes;
-      Format.fprintf ppf "  %a@," Barrier_elide.pp_wplan pr.ph_wplan)
+      Format.fprintf ppf "  %a@," Barrier_elide.pp_wplan pr.ph_wplan;
+      Format.fprintf ppf "  @[<v>boundary live:@,%a@]@,"
+        (Format.pp_print_list (fun ppf (g, r) ->
+             let min_r = List.assoc g pr.ph_min_regions in
+             Format.fprintf ppf "%-12s live %-14s kept %a" g
+               (Format.asprintf "%a" Regions.pp r)
+               Regions.pp min_r))
+        pr.ph_live)
     t.a_phases;
   if t.a_findings <> [] then
     Format.fprintf ppf "@,%a" Finding.pp_report t.a_findings;

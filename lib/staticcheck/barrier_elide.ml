@@ -275,6 +275,44 @@ let workload_plan ~phase enc regions =
   in
   { wphase = phase; wdecisions; wfindings }
 
+(* Live-extended plan, for minimized runs only: a barrier is also dead
+   when every cell the phase may write is dead at the phase's checkpoint
+   boundary (write-only-before-death) — the flags it would set guard
+   state no minimized checkpoint ever records. Byte-identity runs must
+   NOT use this plan: eliding a live barrier changes incremental
+   segments by construction. *)
+let workload_plan_live ~phase regions live =
+  let wdecisions =
+    List.map
+      (fun (g, region) ->
+        let live_r =
+          match List.assoc_opt g live with
+          | Some r -> r
+          | None -> Regions.bot
+        in
+        let kept = Regions.meet region live_r in
+        let welide = Regions.is_bot kept in
+        let wreason =
+          if Regions.is_bot region then
+            "no may-write: barrier and flag maintenance elided"
+          else if welide then
+            Format.asprintf
+              "write-only-before-death: may-write %a is dead at the \
+               boundary (live %a): barrier elided"
+              Regions.pp region Regions.pp live_r
+          else
+            Format.asprintf
+              "may-write %a meets live %a on %a: barrier kept"
+              Regions.pp region Regions.pp live_r Regions.pp kept
+        in
+        { wglobal = g; welide; wregion = region; wreason })
+      regions
+  in
+  (* Decisions here never refuse and never lose precision silently —
+     the per-global reasons carry the full region evidence, so the plan
+     contributes no findings of its own. *)
+  { wphase = phase; wdecisions; wfindings = [] }
+
 let welided p =
   List.filter_map
     (fun d -> if d.welide then Some d.wglobal else None)

@@ -99,6 +99,23 @@ val workload_plan :
 (** [workload_plan ~phase enc regions] with [regions] the per-global
     clamped may-write regions in declaration order. *)
 
+val workload_plan_live :
+  phase:string ->
+  (string * Regions.t) list ->
+  (string * Regions.t) list ->
+  wplan
+(** [workload_plan_live ~phase regions live]: the live-extended plan for
+    {e minimized} runs. A global's barrier is elided when its may-write
+    region is empty {e or} entirely dead at the phase's checkpoint
+    boundary ([Regions.meet region live = Bot], write-only-before-death
+    per {!Live}): the flags it would maintain guard state no minimized
+    checkpoint records, and dropping them keeps demoted blocks from
+    tripping later phases' cleanliness guards. Byte-identity runs must
+    keep using {!workload_plan} — eliding a live barrier changes
+    incremental segments by construction, which is exactly what
+    [Elide_oracle.run_live]'s restore-equivalence (not byte-identity)
+    tolerates and re-verifies. *)
+
 val welided : wplan -> string list
 
 val pp_wplan : Format.formatter -> wplan -> unit

@@ -16,7 +16,7 @@ type result = {
 (* Plain-join rounds before switching to widening: two precise rounds
    cover the common init -> first-update pattern, widening bounds the
    rest. *)
-let widen_delay = 3
+let default_widen_delay = 3
 
 (* Backstop only; the widening argument makes it unreachable. *)
 let max_rounds = 200
@@ -25,7 +25,8 @@ let extent_of_typ = function
   | T_int | T_void -> (0, 0)
   | T_array n -> (0, n - 1)
 
-let analyze ?(havoc = []) (env : Minic.Check.env) =
+let analyze ?(havoc = []) ?(widen_delay = default_widen_delay)
+    (env : Minic.Check.env) =
   let p = env.Minic.Check.program in
   let gid x = Minic.Check.global_id env x in
   let n_globals = Minic.Check.global_count env in

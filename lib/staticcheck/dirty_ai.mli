@@ -22,11 +22,15 @@
 
 type result
 
-val analyze : ?havoc:string list -> Minic.Check.env -> result
+val analyze :
+  ?havoc:string list -> ?widen_delay:int -> Minic.Check.env -> result
 (** Converge the global fixpoint (function summaries, parameter and
     return intervals, global value approximations) over the checked
-    program. Terminates on any input: interval growth is widened after a
-    fixed number of rounds.
+    program. Terminates on any input: interval growth is widened after
+    [widen_delay] plain-join rounds (default 3 — two precise rounds
+    cover the common init → first-update pattern). [widen_delay:0]
+    widens from the first unstable round: maximally imprecise, still
+    terminating — the termination property the test suite checks.
 
     [havoc] names globals to treat as arbitrary external input (value
     {!Regions.itv_full} from the start) instead of their declared

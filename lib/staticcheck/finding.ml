@@ -104,10 +104,16 @@ let to_json f =
     (severity_name f.severity) (json_escape f.scope) (json_escape f.path)
     (json_escape f.reason)
 
+(* Version 2: added the schema_version field itself (version 1 envelopes
+   carried no marker). Bump on any structural change to the envelope or
+   to the per-finding object. *)
+let schema_version = 2
+
 let envelope ~subcommand ?(extra = []) ~exit_code findings =
   Printf.sprintf
-    {|{"tool":"ickpt_lint","subcommand":"%s","errors":%d,"warnings":%d,"findings":[%s],%s"exit_code":%d}|}
-    (json_escape subcommand) (count Error findings) (count Warning findings)
+    {|{"tool":"ickpt_lint","schema_version":%d,"subcommand":"%s","errors":%d,"warnings":%d,"findings":[%s],%s"exit_code":%d}|}
+    schema_version (json_escape subcommand) (count Error findings)
+    (count Warning findings)
     (String.concat "," (List.map to_json findings))
     (String.concat ""
        (List.map

@@ -34,9 +34,14 @@ val pp_report : Format.formatter -> t list -> unit
 (** {1 JSON}
 
     The uniform machine-readable envelope shared by every [ickpt_lint]
-    subcommand: top-level [tool], [subcommand], [errors], [warnings],
-    [findings] and [exit_code] fields, so downstream tooling parses one
-    schema whatever the subcommand. *)
+    subcommand: top-level [tool], [schema_version], [subcommand],
+    [errors], [warnings], [findings] and [exit_code] fields, so
+    downstream tooling parses one schema whatever the subcommand. *)
+
+val schema_version : int
+(** Version of the envelope layout (currently [2]: the version that
+    introduced the [schema_version] field). Consumers should reject
+    envelopes with a higher major version than they understand. *)
 
 val json_escape : string -> string
 

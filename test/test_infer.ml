@@ -178,9 +178,15 @@ let oracle_examples_inferred () =
 
 (* ---- random programs: I8 + byte identity, zero declarations ---------------- *)
 
+(* A failing random seed must be reproducible straight from the CI log:
+   print the seed AND the generated program, not just the integer. *)
+let print_seeded_program seed =
+  Printf.sprintf "seed %d:\n%s" seed
+    (Minic.Pp.to_string (Minic.Gen.random_program ~seed ()))
+
 let prop_random_inferred =
   QCheck2.Test.make ~name:"inferred oracle sound on random programs"
-    ~count:20 ~print:string_of_int
+    ~count:20 ~print:print_seeded_program
     QCheck2.Gen.(int_range 0 5000)
     (fun seed ->
       let program = Minic.Gen.random_program ~seed () in
@@ -306,6 +312,10 @@ let check_envelope ~subcommand ~exit_code raw =
   (match field j "tool" with
   | J_str "ickpt_lint" -> ()
   | _ -> Alcotest.fail "tool field");
+  (match field j "schema_version" with
+  | J_num v ->
+      check_int "schema_version" Fi.schema_version (int_of_float v)
+  | _ -> Alcotest.fail "schema_version must be a number");
   (match field j "subcommand" with
   | J_str s -> check_string "subcommand" subcommand s
   | _ -> Alcotest.fail "subcommand field");
@@ -351,6 +361,13 @@ let json_envelopes () =
       ~exit_code:1 sample_findings
   in
   check_envelope ~subcommand:"infer" ~exit_code:1 raw;
+  check_envelope ~subcommand:"live" ~exit_code:0
+    (Fi.envelope ~subcommand:"live"
+       ~extra:
+         [ ("boundaries", {|[{"phase":"loop","live":{"image":"0..63"}}]|});
+           ("oracle_ok", "true"); ("baseline_bytes", "573");
+           ("minimized_bytes", "330") ]
+       ~exit_code:0 []);
   (* findings survive the escape round-trip *)
   let j = parse_json raw in
   match field j "findings" with
