@@ -282,6 +282,34 @@ let live_cmd =
   in
   Cmd.v (Cmd.info "live" ~doc) Term.(ret (const live $ out_arg))
 
+let par_cmd =
+  let out_arg =
+    let doc = "Write the rows as JSON (the BENCH_7.json document) to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "o"; "json" ] ~docv:"PATH" ~doc)
+  in
+  let par out =
+    let rows = Ablation_par.measure_all () in
+    let ppf = Format.std_formatter in
+    Ablation_par.pp_table ppf rows;
+    let checks = Ablation_par.checks rows in
+    Workload.pp_checks ppf checks;
+    (match out with
+    | None -> ()
+    | Some path ->
+        let oc = open_out_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () -> output_string oc (Ablation_par.json rows));
+        Format.fprintf ppf "wrote %s@." path);
+    if Workload.all_ok checks then `Ok ()
+    else `Error (false, "domain-parallel execution ablation checks failed")
+  in
+  let doc =
+    "measure domain-parallel execution of interference-scheduled phases \
+     and strips, gated per row by the sequential-identity oracle"
+  in
+  Cmd.v (Cmd.info "par" ~doc) Term.(ret (const par $ out_arg))
+
 let () =
   let doc =
     "benchmark harness for the incremental-checkpointing reproduction"
@@ -291,4 +319,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ run_cmd; list_cmd; micro_cmd; crash_cmd; barrier_cmd; dedup_cmd;
-            live_cmd ]))
+            live_cmd; par_cmd ]))

@@ -34,7 +34,16 @@
      the restore-equivalence oracle (restore, resume, containment);
      [--seed-unsound] drops one live block from the minimized set — no
      static finding fires, only the dynamic oracle catches it, so the
-     flag implies [--oracle] and the command must fail.
+     flag implies [--oracle] and the command must fail;
+   - [par]: may-read/may-write interference analysis and the
+     domain-parallel schedule it proves safe — disjoint phase groups and
+     iteration strips, with a finding-reported refusal (naming the
+     conflicting region pair) wherever footprints may overlap.
+     [--oracle] executes the schedule on OCaml domains and verifies
+     byte-identity with the sequential chain plus pairwise
+     observed-footprint disjointness; [--seed-racy] widens one strip by
+     one cell past the static checks — only the dynamic oracle catches
+     it, so the flag implies [--oracle] and the command must fail.
 
    All subcommands share one [--json] envelope: top-level [tool],
    [schema_version], [subcommand], [errors], [warnings], [findings] and
@@ -499,6 +508,124 @@ let run_live_cmd file workload seed_unsound oracle json =
   else Format.printf "%a@." Staticcheck.Finding.pp_report findings;
   if exit_code <> 0 then exit exit_code
 
+(* ---- par ------------------------------------------------------------------- *)
+
+let par_domains_arg =
+  let doc = "Domains to schedule parallel units across (minimum 1)." in
+  Arg.(value & opt int 4 & info [ "domains" ] ~docv:"N" ~doc)
+
+let par_seed_racy_arg =
+  let doc =
+    "Widen one strip's executed range by one cell after the static \
+     disjointness checks — a racy overlap no static finding reports. The \
+     dynamic oracle (implied by this flag) must observe the footprint \
+     intersection and the command must fail; if the schedule has no \
+     multi-strip sweep to seed, that is reported as an error instead."
+  in
+  Arg.(value & flag & info [ "seed-racy" ] ~doc)
+
+let par_oracle_arg =
+  let doc =
+    "Also run the sequential-identity oracle: the parallel checkpoint \
+     chain must be byte-identical to the sequential one in incremental \
+     and guarded-specialized modes, and the footprints each domain \
+     actually observed must be pairwise disjoint within every fork \
+     group (the parallel dual of invariant I8)."
+  in
+  Arg.(value & flag & info [ "oracle" ] ~doc)
+
+let run_par_cmd file workload domains seed_racy oracle json =
+  let program = load_program file workload in
+  let env = check_program program in
+  let t = Staticcheck.Auto_spec.infer env in
+  let sc = Staticcheck.Interfere.schedule ~domains ~seed_racy t in
+  if not json then Format.printf "%a@." Staticcheck.Interfere.pp sc;
+  (* A seed that found nothing to widen cannot exercise the oracle: the
+     self-test is vacuous, which must fail loudly, not pass silently. *)
+  let seed_findings =
+    if seed_racy && not sc.Staticcheck.Interfere.Schedule.sc_seeded then
+      [ { Staticcheck.Finding.severity = Staticcheck.Finding.Error;
+          scope = "par";
+          path = "seed-racy";
+          reason =
+            "seed-racy requested but the schedule parallelizes nothing to \
+             seed (no multi-strip sweep)" } ]
+    else []
+  in
+  let static_findings =
+    Staticcheck.Auto_spec.findings t
+    @ sc.Staticcheck.Interfere.Schedule.sc_findings
+    @ seed_findings
+  in
+  let oracle_findings = ref [] in
+  let oracle_ran = ref false in
+  if
+    (oracle || seed_racy)
+    && not (Staticcheck.Finding.has_errors static_findings)
+  then begin
+    let name =
+      match file with
+      | Some path -> Filename.basename path
+      | None -> ( match workload with `Image -> "image" | `Small -> "small")
+    in
+    let o = Elide_oracle.run_par ~seed_racy ~domains ~name program in
+    oracle_ran := true;
+    if not json then Format.printf "%a@." Elide_oracle.pp_par o;
+    let err path reason =
+      { Staticcheck.Finding.severity = Staticcheck.Finding.Error;
+        scope = "par-oracle";
+        path;
+        reason }
+    in
+    let identity =
+      (if o.Elide_oracle.pw_identical_incremental then []
+       else
+         [ err "chain:incremental"
+             "parallel incremental chain differs from the sequential one" ])
+      @
+      if o.Elide_oracle.pw_identical_specialized then []
+      else
+        [ err "chain:specialized"
+            "parallel specialized chain differs from the sequential one" ]
+    in
+    let conflicts =
+      List.map
+        (fun (c : Elide_oracle.par_conflict) ->
+          err
+            (Printf.sprintf "%s:fork%d" c.Elide_oracle.pc_mode
+               c.Elide_oracle.pc_group)
+            (Printf.sprintf "%s || %s: %s" c.Elide_oracle.pc_a
+               c.Elide_oracle.pc_b c.Elide_oracle.pc_detail))
+        o.Elide_oracle.pw_conflicts
+    in
+    oracle_findings := identity @ conflicts
+  end;
+  let findings =
+    Staticcheck.Finding.sort (static_findings @ !oracle_findings)
+  in
+  let exit_code = if Staticcheck.Finding.has_errors findings then 1 else 0 in
+  if json then
+    print_envelope ~subcommand:"par"
+      ~extra:
+        [ ("domains",
+           string_of_int sc.Staticcheck.Interfere.Schedule.sc_domains);
+          ("par_sweeps",
+           string_of_int sc.Staticcheck.Interfere.Schedule.sc_par_sweeps);
+          ("refused_sweeps",
+           string_of_int sc.Staticcheck.Interfere.Schedule.sc_refused_sweeps);
+          ("groups",
+           string_of_int sc.Staticcheck.Interfere.Schedule.sc_groups);
+          ("seeded",
+           if sc.Staticcheck.Interfere.Schedule.sc_seeded then "true"
+           else "false");
+          ("oracle_ok",
+           if !oracle_ran && !oracle_findings = [] then "true"
+           else if !oracle_ran then "false"
+           else "null") ]
+      ~exit_code findings
+  else Format.printf "%a@." Staticcheck.Finding.pp_report findings;
+  if exit_code <> 0 then exit exit_code
+
 (* ---- command line --------------------------------------------------------- *)
 
 let exits =
@@ -533,6 +660,11 @@ let live_term =
   Term.(
     const run_live_cmd $ file_arg $ workload_arg $ live_seed_unsound_arg
     $ live_oracle_arg $ json_arg)
+
+let par_term =
+  Term.(
+    const run_par_cmd $ file_arg $ workload_arg $ par_domains_arg
+    $ par_seed_racy_arg $ par_oracle_arg $ json_arg)
 
 let () =
   let doc = "static lint and translation validation of specialized code" in
@@ -578,10 +710,20 @@ let () =
          ~exits)
       live_term
   in
+  let par_cmd =
+    Cmd.v
+      (Cmd.info "par"
+         ~doc:
+           "interference analysis and domain-parallel execution: schedule \
+            disjoint phases and iteration strips, and verify sequential \
+            identity plus observed-footprint disjointness"
+         ~exits)
+      par_term
+  in
   let code =
     Cmd.eval
       (Cmd.group ~default:lint_term info
-         [ lint_cmd; verify_cmd; elide_cmd; infer_cmd; live_cmd ])
+         [ lint_cmd; verify_cmd; elide_cmd; infer_cmd; live_cmd; par_cmd ])
   in
   (* Normalize cmdliner's CLI-error code to the documented usage-error 2. *)
   exit (if code = Cmd.Exit.cli_error then 2 else code)

@@ -21,11 +21,70 @@ let ok o =
   o.identical_incremental && o.identical_specialized && o.identical_cross_mode
   && o.violations = []
 
+(* ---- plumbing shared by every oracle below --------------------------------
+
+   The four oracle families (declared elision, inferred elision, liveness
+   minimization, parallel execution) slice chains and attribute segments
+   to phases the same way; they diverge only in their verdict
+   predicates. *)
+
 let chains_identical a b =
   let key (s : Segment.t) =
     (s.Segment.kind, s.Segment.seq, s.Segment.roots, s.Segment.body)
   in
   List.map key (Chain.segments a) = List.map key (Chain.segments b)
+
+let rec take n = function
+  | [] -> []
+  | x :: rest -> if n <= 0 then [] else x :: take (n - 1) rest
+
+let split_at n segs =
+  let rec go n segs =
+    if n = 0 then ([], segs)
+    else
+      match segs with
+      | [] -> ([], [])
+      | s :: rest ->
+          let mine, others = go (n - 1) rest in
+          (s :: mine, others)
+  in
+  go n segs
+
+let split_chain (c : Chain.t) =
+  let segs = Chain.segments c in
+  ( List.filter (fun (s : Segment.t) -> s.Segment.kind = Segment.Full) segs,
+    List.filter
+      (fun (s : Segment.t) -> s.Segment.kind = Segment.Incremental)
+      segs )
+
+let bytes segs =
+  List.fold_left (fun acc s -> acc + Segment.body_size s) 0 segs
+
+(* Walk an instrumented run's incremental segments positionally — the
+   phases ran in order, one segment per iteration, after the single full
+   base segment — decoding each segment's records for the per-phase
+   verdict closure [on_phase] returns. Counts (segments, records)
+   decoded. *)
+let attribute_records ~schema chain phases ~iterations ~on_phase =
+  let segments = ref 0 and records = ref 0 in
+  let rec go segs = function
+    | [] -> ()
+    | p :: rest ->
+        let mine, others = split_at (iterations p) segs in
+        let on_record = on_phase p in
+        List.iter
+          (fun (s : Segment.t) ->
+            incr segments;
+            List.iter
+              (fun r ->
+                incr records;
+                on_record r)
+              (Restore.records_of_body schema s.Segment.body))
+          mine;
+        go others rest
+  in
+  go (snd (split_chain chain)) phases;
+  (!segments, !records)
 
 (* The id → (site, sid) map of the attribute tree: which statically
    analyzed site each heap object's dirty flag stands for. VarRef chain
@@ -77,90 +136,61 @@ let check_containment (report : Engine.report) =
     (Ickpt_runtime.Schema.find_name schema "VarRef").Ickpt_runtime.Model.kid
   in
   let violations = ref [] in
-  let segments_checked = ref 0 in
-  let dirty_cells = ref 0 in
-  let incremental_segments =
-    List.filter
-      (fun (s : Segment.t) -> s.Segment.kind = Segment.Incremental)
-      (Chain.segments report.Engine.chain)
-  in
-  (* Segments are positional: the phases ran in order, one segment per
-     iteration, after the single full base segment. *)
-  let rec attribute segs = function
-    | [] -> ()
-    | (p : Engine.phase_report) :: phases ->
-        let rec take n segs =
-          if n = 0 then ([], segs)
+  let on_phase (p : Engine.phase_report) =
+    let phase = phase_of_name p.Engine.phase in
+    let region site =
+      Staticcheck.Barrier_elide.site_region_for
+        ~n_stmts:(Attrs.n_stmts attrs) phase site
+    in
+    fun (r : Restore.record) ->
+      let add site sid detail =
+        violations :=
+          { phase = p.Engine.phase; site; sid; detail } :: !violations
+      in
+      match Hashtbl.find_opt owners r.Restore.rec_id with
+      | Some (Spine, sid) ->
+          add "spine" sid
+            "attribute-tree spine object dirtied; no phase may modify the \
+             spine"
+      | Some (Site site, sid) ->
+          if not (Staticcheck.Regions.mem sid (region site)) then
+            add
+              (Staticcheck.Barrier_elide.site_name site)
+              sid
+              (Format.asprintf
+                 "dirty cell %d outside static may-write region %a" sid
+                 Staticcheck.Regions.pp (region site))
+      | None ->
+          if r.Restore.rec_kid = varref_kid then begin
+            if
+              Staticcheck.Regions.is_bot
+                (region Staticcheck.Barrier_elide.Lists)
+            then
+              add "se-lists" (-1)
+                "VarRef dirtied in a phase whose se-lists may-write region \
+                 is empty"
+          end
           else
-            match segs with
-            | [] -> ([], [])
-            | s :: rest ->
-                let mine, others = take (n - 1) rest in
-                (s :: mine, others)
-        in
-        let mine, rest = take p.Engine.iterations segs in
-        let phase = phase_of_name p.Engine.phase in
-        let region site =
-          Staticcheck.Barrier_elide.site_region_for
-            ~n_stmts:(Attrs.n_stmts attrs) phase site
-        in
-        List.iter
-          (fun (s : Segment.t) ->
-            incr segments_checked;
-            List.iter
-              (fun (r : Restore.record) ->
-                incr dirty_cells;
-                let add site sid detail =
-                  violations :=
-                    { phase = p.Engine.phase; site; sid; detail } :: !violations
-                in
-                match Hashtbl.find_opt owners r.Restore.rec_id with
-                | Some (Spine, sid) ->
-                    add "spine" sid
-                      "attribute-tree spine object dirtied; no phase may \
-                       modify the spine"
-                | Some (Site site, sid) ->
-                    if not (Staticcheck.Regions.mem sid (region site)) then
-                      add
-                        (Staticcheck.Barrier_elide.site_name site)
-                        sid
-                        (Format.asprintf
-                           "dirty cell %d outside static may-write region %a"
-                           sid Staticcheck.Regions.pp (region site))
-                | None ->
-                    if r.Restore.rec_kid = varref_kid then begin
-                      if
-                        Staticcheck.Regions.is_bot
-                          (region Staticcheck.Barrier_elide.Lists)
-                      then
-                        add "se-lists" (-1)
-                          "VarRef dirtied in a phase whose se-lists \
-                           may-write region is empty"
-                    end
-                    else
-                      add "?" (-1)
-                        (Printf.sprintf
-                           "record for unknown object id %d (class id %d)"
-                           r.Restore.rec_id r.Restore.rec_kid)
-              )
-              (Restore.records_of_body schema s.Segment.body))
-          mine;
-        attribute rest phases
+            add "?" (-1)
+              (Printf.sprintf "record for unknown object id %d (class id %d)"
+                 r.Restore.rec_id r.Restore.rec_kid)
   in
-  attribute incremental_segments report.Engine.phases;
-  (List.rev !violations, !segments_checked, !dirty_cells)
+  let segments_checked, dirty_cells =
+    attribute_records ~schema report.Engine.chain report.Engine.phases
+      ~iterations:(fun p -> p.Engine.iterations)
+      ~on_phase
+  in
+  (List.rev !violations, segments_checked, dirty_cells)
 
-let run ?division ~name program =
-  let analyze ~mode ~guard ~elide =
-    Engine.analyze ~mode ?division ~guard ~elide program
-  in
+(* The four engine runs every byte-identity oracle performs — instrumented
+   vs elided, in incremental and guarded-specialized modes — plus one
+   containment decode of the instrumented incremental run. *)
+let differential ~name ~analyze ~containment =
   let inst_inc = analyze ~mode:Engine.Incremental ~guard:false ~elide:false in
   let elid_inc = analyze ~mode:Engine.Incremental ~guard:false ~elide:true in
   let inst_spec = analyze ~mode:Engine.Specialized ~guard:true ~elide:false in
   let elid_spec = analyze ~mode:Engine.Specialized ~guard:true ~elide:true in
-  let violations, segments_checked, dirty_cells =
-    check_containment inst_inc
-  in
+  let violations, segments_checked, dirty_cells = containment inst_inc in
   { workload = name;
     identical_incremental =
       chains_identical inst_inc.Engine.chain elid_inc.Engine.chain;
@@ -171,6 +201,12 @@ let run ?division ~name program =
     violations;
     segments_checked;
     dirty_cells }
+
+let run ?division ~name program =
+  differential ~name
+    ~analyze:(fun ~mode ~guard ~elide ->
+      Engine.analyze ~mode ?division ~guard ~elide program)
+    ~containment:check_containment
 
 (* ---- annotation-free (inferred) runs -------------------------------------- *)
 
@@ -188,99 +224,57 @@ let check_containment_inferred (report : Engine.report) =
   let auto = Option.get (Engine.auto_spec report) in
   let schema = Wheap.schema wheap in
   let violations = ref [] in
-  let segments_checked = ref 0 in
-  let dirty_cells = ref 0 in
-  let incremental_segments =
-    List.filter
-      (fun (s : Segment.t) -> s.Segment.kind = Segment.Incremental)
-      (Chain.segments report.Engine.chain)
+  let on_phase
+      ( (p : Engine.phase_report),
+        (pr : Staticcheck.Auto_spec.phase_result) ) =
+    let region g =
+      match List.assoc_opt g pr.Staticcheck.Auto_spec.ph_regions with
+      | Some r -> r
+      | None -> Staticcheck.Regions.bot
+    in
+    fun (r : Restore.record) ->
+      let add site sid detail =
+        violations :=
+          { phase = p.Engine.phase; site; sid; detail } :: !violations
+      in
+      match Wheap.owner_of wheap r.Restore.rec_id with
+      | Some (g, Wheap.Scalar_slot) ->
+          if Staticcheck.Regions.is_bot (region g) then
+            add g 0
+              "scalar dirtied in a phase whose may-write region for it is \
+               empty"
+      | Some (g, Wheap.Header) ->
+          add g (-1)
+            "array header dirtied; headers are immutable after the base \
+             checkpoint"
+      | Some (g, Wheap.Block { lo; hi }) ->
+          if
+            Staticcheck.Regions.is_bot
+              (Staticcheck.Regions.meet (region g)
+                 (Staticcheck.Regions.interval lo hi))
+          then
+            add g lo
+              (Format.asprintf
+                 "block [%d..%d] dirtied outside static may-write region %a"
+                 lo hi Staticcheck.Regions.pp (region g))
+      | None ->
+          add "?" (-1)
+            (Printf.sprintf "record for unknown object id %d (class id %d)"
+               r.Restore.rec_id r.Restore.rec_kid)
   in
-  let rec attribute segs = function
-    | [] -> ()
-    | ( (p : Engine.phase_report),
-        (pr : Staticcheck.Auto_spec.phase_result) )
-      :: phases ->
-        let rec take n segs =
-          if n = 0 then ([], segs)
-          else
-            match segs with
-            | [] -> ([], [])
-            | s :: rest ->
-                let mine, others = take (n - 1) rest in
-                (s :: mine, others)
-        in
-        let mine, rest = take p.Engine.iterations segs in
-        let region g =
-          match List.assoc_opt g pr.Staticcheck.Auto_spec.ph_regions with
-          | Some r -> r
-          | None -> Staticcheck.Regions.bot
-        in
-        List.iter
-          (fun (s : Segment.t) ->
-            incr segments_checked;
-            List.iter
-              (fun (r : Restore.record) ->
-                incr dirty_cells;
-                let add site sid detail =
-                  violations :=
-                    { phase = p.Engine.phase; site; sid; detail }
-                    :: !violations
-                in
-                match Wheap.owner_of wheap r.Restore.rec_id with
-                | Some (g, Wheap.Scalar_slot) ->
-                    if Staticcheck.Regions.is_bot (region g) then
-                      add g 0
-                        "scalar dirtied in a phase whose may-write region \
-                         for it is empty"
-                | Some (g, Wheap.Header) ->
-                    add g (-1)
-                      "array header dirtied; headers are immutable after \
-                       the base checkpoint"
-                | Some (g, Wheap.Block { lo; hi }) ->
-                    if
-                      Staticcheck.Regions.is_bot
-                        (Staticcheck.Regions.meet (region g)
-                           (Staticcheck.Regions.interval lo hi))
-                    then
-                      add g lo
-                        (Format.asprintf
-                           "block [%d..%d] dirtied outside static \
-                            may-write region %a"
-                           lo hi Staticcheck.Regions.pp (region g))
-                | None ->
-                    add "?" (-1)
-                      (Printf.sprintf
-                         "record for unknown object id %d (class id %d)"
-                         r.Restore.rec_id r.Restore.rec_kid))
-              (Restore.records_of_body schema s.Segment.body))
-          mine;
-        attribute rest phases
+  let segments_checked, dirty_cells =
+    attribute_records ~schema report.Engine.chain
+      (List.combine report.Engine.phases auto.Staticcheck.Auto_spec.a_phases)
+      ~iterations:(fun ((p : Engine.phase_report), _) -> p.Engine.iterations)
+      ~on_phase
   in
-  attribute incremental_segments
-    (List.combine report.Engine.phases auto.Staticcheck.Auto_spec.a_phases);
-  (List.rev !violations, !segments_checked, !dirty_cells)
+  (List.rev !violations, segments_checked, dirty_cells)
 
 let run_inferred ~name program =
-  let analyze ~mode ~guard ~elide =
-    Engine.analyze ~mode ~guard ~elide ~infer:true program
-  in
-  let inst_inc = analyze ~mode:Engine.Incremental ~guard:false ~elide:false in
-  let elid_inc = analyze ~mode:Engine.Incremental ~guard:false ~elide:true in
-  let inst_spec = analyze ~mode:Engine.Specialized ~guard:true ~elide:false in
-  let elid_spec = analyze ~mode:Engine.Specialized ~guard:true ~elide:true in
-  let violations, segments_checked, dirty_cells =
-    check_containment_inferred inst_inc
-  in
-  { workload = name;
-    identical_incremental =
-      chains_identical inst_inc.Engine.chain elid_inc.Engine.chain;
-    identical_specialized =
-      chains_identical inst_spec.Engine.chain elid_spec.Engine.chain;
-    identical_cross_mode =
-      chains_identical inst_inc.Engine.chain inst_spec.Engine.chain;
-    violations;
-    segments_checked;
-    dirty_cells }
+  differential ~name
+    ~analyze:(fun ~mode ~guard ~elide ->
+      Engine.analyze ~mode ~guard ~elide ~infer:true program)
+    ~containment:check_containment_inferred
 
 (* ---- restore-equivalence oracle for minimized checkpoints ------------------ *)
 
@@ -316,10 +310,6 @@ type image = {
   im_scalars : (string * int) list;
   im_arrays : (string * int array) list;
 }
-
-let rec take n = function
-  | [] -> []
-  | x :: rest -> if n <= 0 then [] else x :: take (n - 1) rest
 
 let image_of_prefix (encoding : Staticcheck.Shape_infer.encoding) segs =
   let schema = encoding.Staticcheck.Shape_infer.schema in
@@ -513,19 +503,8 @@ let run_live ?(seed_unsound = false) ~name program =
         failures := { lf_epoch = e; lf_kind = kind; lf_detail = s } :: !failures)
       fmt
   in
-  let split_chain (c : Chain.t) =
-    let segs = Chain.segments c in
-    ( List.filter (fun (s : Segment.t) -> s.Segment.kind = Segment.Full) segs,
-      List.filter
-        (fun (s : Segment.t) -> s.Segment.kind = Segment.Incremental)
-        segs )
-  in
   let full_b, inc_b = split_chain baseline.Engine.chain in
   let full_m, inc_m = split_chain minimized.Engine.chain in
-  let bytes segs =
-    List.fold_left (fun acc s -> acc + Segment.body_size s) 0
-      (List.map (fun (s : Segment.t) -> s) segs)
-  in
   let epochs_b = List.length inc_b in
   let epochs_m = List.length inc_m in
   if epochs_b <> epochs_m then
@@ -724,4 +703,132 @@ let pp ppf o =
     (fun v ->
       Format.fprintf ppf "@,[%s] %s sid %d: %s" v.phase v.site v.sid v.detail)
     o.violations;
+  Format.fprintf ppf "@]"
+
+(* ---- parallel-execution oracle --------------------------------------------- *)
+
+(* Parallel runs promise byte-identity with the sequential chain — the
+   replay-in-schedule-order construction guarantees it whenever the units'
+   footprints were really disjoint. But an overlap that writes the same
+   value keeps the chain identical while the run is still racy (the
+   seeded self-test demonstrates exactly this), so identity alone cannot
+   gate: the oracle also intersects the footprints each domain actually
+   observed, pairwise within every fork group — the parallel dual of
+   invariant I8 (static disjointness ⊇ dynamic disjointness). *)
+
+type par_conflict = {
+  pc_mode : string;  (* "incremental" or "specialized" *)
+  pc_group : int;
+  pc_a : string;
+  pc_b : string;
+  pc_detail : string;
+}
+
+type par_outcome = {
+  pw_workload : string;
+  pw_domains : int;
+  pw_seeded : bool;
+  pw_identical_incremental : bool;
+  pw_identical_specialized : bool;
+  pw_par_units : int;
+  pw_par_sweeps : int;
+  pw_pairs_checked : int;
+  pw_conflicts : par_conflict list;
+}
+
+let par_ok o =
+  o.pw_identical_incremental && o.pw_identical_specialized
+  && o.pw_conflicts = []
+
+(* Pairwise observed-footprint disjointness inside each fork group —
+   units in different groups ran sequentially and may overlap freely. *)
+let observed_conflicts ~mode (rep : Engine.par_report) =
+  let groups = Hashtbl.create 8 in
+  List.iter
+    (fun (u : Engine.par_unit) ->
+      let l =
+        Option.value ~default:[] (Hashtbl.find_opt groups u.Engine.pu_group)
+      in
+      Hashtbl.replace groups u.Engine.pu_group (u :: l))
+    rep.Engine.par_units;
+  let foot (u : Engine.par_unit) =
+    { Staticcheck.Interfere.fp_reads = u.Engine.pu_reads;
+      fp_writes = u.Engine.pu_writes }
+  in
+  let pairs = ref 0 in
+  let conflicts = ref [] in
+  Hashtbl.iter
+    (fun group members ->
+      let members = Array.of_list (List.rev members) in
+      for i = 0 to Array.length members - 1 do
+        for j = i + 1 to Array.length members - 1 do
+          incr pairs;
+          match
+            Staticcheck.Interfere.footprint_conflict
+              (foot members.(i))
+              (foot members.(j))
+          with
+          | None -> ()
+          | Some (g, ra, rb) ->
+              conflicts :=
+                { pc_mode = mode;
+                  pc_group = group;
+                  pc_a = members.(i).Engine.pu_label;
+                  pc_b = members.(j).Engine.pu_label;
+                  pc_detail =
+                    Format.asprintf
+                      "observed footprints meet on %s: %a vs %a" g
+                      Staticcheck.Regions.pp ra Staticcheck.Regions.pp rb }
+                :: !conflicts
+        done
+      done)
+    groups;
+  (!pairs, List.rev !conflicts)
+
+let run_par ?(seed_racy = false) ?(domains = 4) ~name program =
+  let seq ~mode ~guard =
+    Engine.analyze ~infer:true ~mode ~guard ~elide:false program
+  in
+  let par ~mode ~guard =
+    Engine.analyze ~infer:true ~mode ~guard ~elide:false ~parallel:domains
+      ~seed_racy program
+  in
+  let seq_inc = seq ~mode:Engine.Incremental ~guard:false in
+  let par_inc = par ~mode:Engine.Incremental ~guard:false in
+  let seq_spec = seq ~mode:Engine.Specialized ~guard:true in
+  let par_spec = par ~mode:Engine.Specialized ~guard:true in
+  let rep_inc = Option.get par_inc.Engine.par in
+  let rep_spec = Option.get par_spec.Engine.par in
+  let pairs_i, conf_i = observed_conflicts ~mode:"incremental" rep_inc in
+  let pairs_s, conf_s = observed_conflicts ~mode:"specialized" rep_spec in
+  { pw_workload = name;
+    pw_domains = rep_inc.Engine.par_domains;
+    pw_seeded = rep_inc.Engine.par_schedule.Engine.Isch.sc_seeded;
+    pw_identical_incremental =
+      chains_identical seq_inc.Engine.chain par_inc.Engine.chain;
+    pw_identical_specialized =
+      chains_identical seq_spec.Engine.chain par_spec.Engine.chain;
+    pw_par_units = List.length rep_inc.Engine.par_units;
+    pw_par_sweeps = rep_inc.Engine.par_sweeps;
+    pw_pairs_checked = pairs_i + pairs_s;
+    pw_conflicts = conf_i @ conf_s }
+
+let pp_par ppf o =
+  Format.fprintf ppf "@[<v 2>%s%s: %s" o.pw_workload
+    (if o.pw_seeded then " (seeded-racy)" else "")
+    (if par_ok o then "ok" else "FAILED");
+  Format.fprintf ppf "@,%d domain(s): %d parallel unit(s), %d sweep fan-out(s)"
+    o.pw_domains o.pw_par_units o.pw_par_sweeps;
+  Format.fprintf ppf
+    "@,chains identical to sequential: incremental %b, specialized %b"
+    o.pw_identical_incremental o.pw_identical_specialized;
+  Format.fprintf ppf
+    "@,observed disjointness: %d pair(s) checked, %d conflict(s)"
+    o.pw_pairs_checked
+    (List.length o.pw_conflicts);
+  List.iter
+    (fun c ->
+      Format.fprintf ppf "@,[%s fork %d] %s || %s: %s" c.pc_mode c.pc_group
+        c.pc_a c.pc_b c.pc_detail)
+    o.pw_conflicts;
   Format.fprintf ppf "@]"

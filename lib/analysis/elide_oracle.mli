@@ -107,6 +107,59 @@ val run_live :
 
 val pp_live : Format.formatter -> live_outcome -> unit
 
+(** {1 Sequential-identity oracle for parallel execution}
+
+    Parallel runs ([Engine.analyze ~parallel]) promise {e byte identity}
+    with the sequential chain: domain-local write logs replayed in
+    schedule order produce the same barrier stream whenever the units'
+    footprints were really disjoint. Identity alone cannot gate, though —
+    an overlap that happens to write the same value keeps the chain
+    identical while the run is still racy (the [seed_racy] self-test
+    demonstrates exactly this). {!run_par} therefore also intersects the
+    footprints each domain {e actually observed} (upward-exposed reads
+    and all writes, from the {!Dlog}s), pairwise within every fork
+    group — the parallel dual of invariant I8. *)
+
+type par_conflict = {
+  pc_mode : string;  (** ["incremental"] or ["specialized"] *)
+  pc_group : int;  (** fork instance the two units shared *)
+  pc_a : string;  (** unit label, e.g. ["smooth[8,20)"] *)
+  pc_b : string;
+  pc_detail : string;
+}
+
+type par_outcome = {
+  pw_workload : string;
+  pw_domains : int;
+  pw_seeded : bool;  (** the schedule actually injected the racy seed *)
+  pw_identical_incremental : bool;
+  pw_identical_specialized : bool;
+  pw_par_units : int;  (** parallel units executed (incremental run) *)
+  pw_par_sweeps : int;  (** sweep fan-outs executed (incremental run) *)
+  pw_pairs_checked : int;  (** unit pairs disjointness-checked, both modes *)
+  pw_conflicts : par_conflict list;  (** empty when the run was race-free *)
+}
+
+val par_ok : par_outcome -> bool
+
+val run_par :
+  ?seed_racy:bool ->
+  ?domains:int ->
+  name:string ->
+  Minic.Ast.program ->
+  par_outcome
+(** Four engine runs (sequential vs [~parallel:domains], in incremental
+    and guarded-specialized modes; [domains] defaults to 4), chain
+    comparison per mode, and the pairwise observed-footprint check over
+    both parallel runs' fork groups. [seed_racy] is forwarded to the
+    parallel runs; [pw_seeded] reports whether the schedule found
+    anything to seed (a workload with no multi-strip sweep cannot be
+    seeded). A seeded run must {e not} be [par_ok] — that is the
+    self-test that this oracle gates.
+    @raise Engine.Verification_failed as [Engine.analyze ~infer] does. *)
+
+val pp_par : Format.formatter -> par_outcome -> unit
+
 val builtin_workloads : unit -> (string * Minic.Ast.program) list
 (** The generator workloads the test suite and CLI default to:
     the image program and the small program of {!Minic.Gen}. *)

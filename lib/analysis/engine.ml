@@ -29,6 +29,23 @@ type subject =
   | Engine_heap of Attrs.t
   | Workload_heap of { wheap : Wheap.t; auto : Staticcheck.Auto_spec.t }
 
+module Isch = Staticcheck.Interfere.Schedule
+
+type par_unit = {
+  pu_phase : string;
+  pu_label : string;
+  pu_group : int;
+  pu_reads : (string * Staticcheck.Regions.t) list;
+  pu_writes : (string * Staticcheck.Regions.t) list;
+}
+
+type par_report = {
+  par_domains : int;
+  par_schedule : Isch.t;
+  par_units : par_unit list;
+  par_sweeps : int;
+}
+
 type report = {
   mode : mode;
   n_stmts : int;
@@ -38,6 +55,7 @@ type report = {
   subject : subject;
   env : Minic.Check.env;
   elide_plans : Staticcheck.Barrier_elide.plan list;
+  par : par_report option;
 }
 
 let attrs r =
@@ -316,7 +334,8 @@ let analyze_declared ?(mode = Incremental) ?division ?(sea_min = 1)
     chain;
     subject = Engine_heap attrs;
     env;
-    elide_plans = List.filter_map Fun.id [ sea_plan; bta_plan; eta_plan ] }
+    elide_plans = List.filter_map Fun.id [ sea_plan; bta_plan; eta_plan ];
+    par = None }
 
 (* ---- annotation-free (inferred) runs -------------------------------------- *)
 
@@ -409,14 +428,27 @@ let workload_checkpoint_step ~mode ~measure_traversal ~guard ~elide ~minimize
    evaluation — guard effects belong to the round, so they must land in a
    segment of this phase. A top-level [return] ([Session.Halted]) ends
    the run: the partial round is still checkpointed, later phases take
-   zero checkpoints. *)
+   zero checkpoints.
+
+   [parallel] consumes an {!Staticcheck.Interfere} schedule: statically
+   disjoint iteration strips (and whole independent phases) execute on
+   their own OCaml domains against domain-local {!Dlog} tracking stores;
+   the master then replays each unit's write log in schedule order — not
+   completion order — through the barriered [Wheap.store], so the
+   write-barrier stream, and hence the chain, is byte-identical to a
+   sequential run. The observed per-domain footprints land in the
+   [par_report] for [Elide_oracle.run_par]'s dynamic disjointness check. *)
 let analyze_inferred ?(mode = Incremental) ?(measure_traversal = false)
     ?(guard = false) ?(elide = false) ?(minimize = false)
-    ?(seed_dead = false) program =
+    ?(seed_dead = false) ?parallel ?(seed_racy = false) program =
   if minimize && mode <> Specialized then
     invalid_arg
       "Engine.analyze: ~minimize requires Specialized mode (pruned \
        residual checkpointers)";
+  if minimize && parallel <> None then
+    invalid_arg
+      "Engine.analyze: ~parallel is incompatible with ~minimize \
+       (minimized segments are not byte-comparable)";
   let env = Minic.Check.check program in
   let auto = Staticcheck.Auto_spec.infer ~seed_dead env in
   let failures =
@@ -443,6 +475,11 @@ let analyze_inferred ?(mode = Incremental) ?(measure_traversal = false)
      gate holds in every mode — even a plain incremental run must not
      execute under shapes whose residual code failed validation. *)
   if failures <> [] then raise (Verification_failed failures);
+  let sched =
+    Option.map
+      (fun n -> Staticcheck.Interfere.schedule ~domains:n ~seed_racy auto)
+      parallel
+  in
   let wheap = Wheap.create auto.Staticcheck.Auto_spec.a_encoding in
   let chain = Chain.create (Wheap.schema wheap) in
   let base = Chain.take_full chain (Wheap.roots wheap) in
@@ -451,65 +488,307 @@ let analyze_inferred ?(mode = Incremental) ?(measure_traversal = false)
     Minic.Interp.Session.start ~store:(Wheap.store wheap) program
   in
   let halted = ref false in
-  let phases =
-    List.map
-      (fun (pr : Staticcheck.Auto_spec.phase_result) ->
-        let ph = pr.Staticcheck.Auto_spec.ph in
-        Wheap.set_elided wheap
-          (if elide then
-             (* Minimized runs use the live-extended plan: barriers on
-                write-only-before-death globals are dead weight (their
-                flags guard state no minimized checkpoint records).
-                Byte-identity runs must keep the may-write-only plan. *)
-             Staticcheck.Barrier_elide.welided
-               (if minimize then pr.Staticcheck.Auto_spec.ph_live_wplan
-                else pr.Staticcheck.Auto_spec.ph_wplan)
-           else []);
-        let stats = ref [] in
-        let ckp_total = ref 0.0 in
-        let step () =
-          let stat =
-            workload_checkpoint_step ~mode ~measure_traversal ~guard ~elide
-              ~minimize ~chain ~wheap ~auto ~pr ()
-          in
-          ckp_total :=
-            !ckp_total +. stat.seconds +. stat.guard_seconds
-            +. Option.value ~default:0.0 stat.traversal_seconds;
-          stats := stat :: !stats
-        in
-        let exec_body () =
-          try Minic.Interp.Session.exec_block session ph.Staticcheck.Phase_discover.p_body
-          with Minic.Interp.Session.Halted _ -> halted := true
-        in
-        let run_rounds () =
-          if !halted then 0
-          else
-            match ph.Staticcheck.Phase_discover.p_kind with
-            | Staticcheck.Phase_discover.Setup ->
-                exec_body ();
+  let elision_for (pr : Staticcheck.Auto_spec.phase_result) =
+    if elide then
+      (* Minimized runs use the live-extended plan: barriers on
+         write-only-before-death globals are dead weight (their
+         flags guard state no minimized checkpoint records).
+         Byte-identity runs must keep the may-write-only plan. *)
+      Staticcheck.Barrier_elide.welided
+        (if minimize then pr.Staticcheck.Auto_spec.ph_live_wplan
+         else pr.Staticcheck.Auto_spec.ph_wplan)
+    else []
+  in
+  let make_step (pr : Staticcheck.Auto_spec.phase_result) stats ckp_total () =
+    let stat =
+      workload_checkpoint_step ~mode ~measure_traversal ~guard ~elide
+        ~minimize ~chain ~wheap ~auto ~pr ()
+    in
+    ckp_total :=
+      !ckp_total +. stat.seconds +. stat.guard_seconds
+      +. Option.value ~default:0.0 stat.traversal_seconds;
+    stats := stat :: !stats
+  in
+  (* Parallel bookkeeping: every fan-out (one sweep execution, one phase
+     group) is a fork instance; the observed footprints of its units are
+     what the oracle's dynamic disjointness check compares. *)
+  let par_units = ref [] in
+  let fork = ref 0 in
+  let sweeps_run = ref 0 in
+  let record_unit ~phase ~label ~group d =
+    par_units :=
+      { pu_phase = phase; pu_label = label; pu_group = group;
+        pu_reads = Dlog.observed_reads d; pu_writes = Dlog.observed_writes d }
+      :: !par_units
+  in
+  let ws = Wheap.store wheap in
+  (* One sweep fan-out: strips run their self-contained programs on fresh
+     domains against a common snapshot, then the master replays the write
+     logs in strip order through the (possibly elision-rerouted) barriered
+     store. Strip programs cannot halt (sweep recognition refuses
+     returns). *)
+  let run_sweep ph_name (sw : Isch.sweep) =
+    incr fork;
+    incr sweeps_run;
+    let fid = !fork in
+    let snapshot = Dlog.snapshot_of_wheap wheap in
+    let dlogs =
+      sw.Isch.sw_strips
+      |> List.map (fun (st : Isch.strip) ->
+             Domain.spawn (fun () ->
+                 let d = Dlog.create snapshot in
+                 let s =
+                   Minic.Interp.Session.start ~store:(Dlog.store d)
+                     st.Isch.st_program
+                 in
+                 (match Minic.Ast.find_func st.Isch.st_program "main" with
+                 | Some main -> Minic.Interp.Session.exec_block s main.Minic.Ast.f_body
+                 | None -> ());
+                 d))
+      |> List.map Domain.join
+    in
+    List.iter2
+      (fun (st : Isch.strip) d ->
+        record_unit ~phase:ph_name
+          ~label:
+            (Printf.sprintf "%s[%d,%d)" sw.Isch.sw_func st.Isch.st_lo
+               st.Isch.st_hi)
+          ~group:fid d;
+        Dlog.replay ws ~on_mark:(fun () -> ()) d)
+      sw.Isch.sw_strips dlogs
+  in
+  (* One phase, driven by the master session. With a schedule, a round
+     body walks its unit plan — serial statements on the master, sweeps
+     fanned out — which is the program-order execution the sequential
+     driver performs, minus the strip-internal reordering the schedule
+     proved unobservable. *)
+  let run_one ((pr : Staticcheck.Auto_spec.phase_result), pso) =
+    let ph = pr.Staticcheck.Auto_spec.ph in
+    Wheap.set_elided wheap (elision_for pr);
+    let stats = ref [] in
+    let ckp_total = ref 0.0 in
+    let step = make_step pr stats ckp_total in
+    let exec_serial b =
+      try Minic.Interp.Session.exec_block session b
+      with Minic.Interp.Session.Halted _ -> halted := true
+    in
+    let exec_body () =
+      match pso with
+      | Some ps when ps.Isch.ps_units <> [] ->
+          List.iter
+            (fun u ->
+              if not !halted then
+                match u with
+                | Isch.Serial s -> exec_serial [ s ]
+                | Isch.Par_sweep sw ->
+                    run_sweep ph.Staticcheck.Phase_discover.p_name sw)
+            ps.Isch.ps_units
+      | _ -> exec_serial ph.Staticcheck.Phase_discover.p_body
+    in
+    let run_rounds () =
+      if !halted then 0
+      else
+        match ph.Staticcheck.Phase_discover.p_kind with
+        | Staticcheck.Phase_discover.Setup ->
+            exec_body ();
+            step ();
+            1
+        | Staticcheck.Phase_discover.Round { cond } ->
+            let n = ref 0 in
+            let continue = ref true in
+            while !continue do
+              if !halted then continue := false
+              else begin
+                let v = Minic.Interp.Session.eval session cond in
+                if v = 0 then continue := false else exec_body ();
                 step ();
-                1
-            | Staticcheck.Phase_discover.Round { cond } ->
-                let n = ref 0 in
-                let continue = ref true in
-                while !continue do
-                  if !halted then continue := false
-                  else begin
-                    let v = Minic.Interp.Session.eval session cond in
-                    if v = 0 then continue := false else exec_body ();
-                    step ();
-                    incr n
-                  end
-                done;
-                !n
-        in
-        let iterations, total_seconds = Clock.time run_rounds in
-        Wheap.set_elided wheap [];
-        { phase = ph.Staticcheck.Phase_discover.p_name;
-          iterations;
-          stats = List.rev !stats;
-          analysis_seconds = Float.max 0.0 (total_seconds -. !ckp_total) })
-      auto.Staticcheck.Auto_spec.a_phases
+                incr n
+              end
+            done;
+            !n
+    in
+    let iterations, total_seconds = Clock.time run_rounds in
+    Wheap.set_elided wheap [];
+    { phase = ph.Staticcheck.Phase_discover.p_name;
+      iterations;
+      stats = List.rev !stats;
+      analysis_seconds = Float.max 0.0 (total_seconds -. !ckp_total) }
+  in
+  (* A parallel phase group: each member phase runs to completion on its
+     own domain (its own session over the blanked program, master locals
+     injected), then the master replays member logs in schedule order,
+     checkpointing at each mark under that member's elision set and
+     carrying back the locals the member may write. A member that halted
+     discards every later member's work — the sequential run would never
+     have executed it. *)
+  let zero_phase (pr : Staticcheck.Auto_spec.phase_result) =
+    { phase = pr.Staticcheck.Auto_spec.ph.Staticcheck.Phase_discover.p_name;
+      iterations = 0; stats = []; analysis_seconds = 0.0 }
+  in
+  let blank_program =
+    lazy
+      { program with
+        Minic.Ast.funcs =
+          List.map
+            (fun f ->
+              if f.Minic.Ast.f_name = "main" then
+                { f with Minic.Ast.f_body = [] }
+              else f)
+            program.Minic.Ast.funcs }
+  in
+  let main_local_names =
+    match Minic.Ast.find_func program "main" with
+    | Some f -> List.map (fun d -> d.Minic.Ast.v_name) f.Minic.Ast.f_locals
+    | None -> []
+  in
+  let run_group members =
+    if !halted then List.map (fun (pr, _) -> zero_phase pr) members
+    else begin
+      incr fork;
+      let fid = !fork in
+      let snapshot = Dlog.snapshot_of_wheap wheap in
+      let locals0 = Minic.Interp.Session.locals session in
+      let results, fan_seconds =
+        Clock.time (fun () ->
+            members
+            |> List.map
+                 (fun ((pr : Staticcheck.Auto_spec.phase_result), _) ->
+                   Domain.spawn (fun () ->
+                       let ph = pr.Staticcheck.Auto_spec.ph in
+                       let d = Dlog.create snapshot in
+                       let s =
+                         Minic.Interp.Session.start ~store:(Dlog.store d)
+                           (Lazy.force blank_program)
+                       in
+                       List.iter
+                         (fun (n, v) -> Minic.Interp.Session.set_local s n v)
+                         locals0;
+                       let halted' = ref false in
+                       let exec () =
+                         try
+                           Minic.Interp.Session.exec_block s
+                             ph.Staticcheck.Phase_discover.p_body
+                         with Minic.Interp.Session.Halted _ ->
+                           halted' := true
+                       in
+                       let rounds =
+                         match ph.Staticcheck.Phase_discover.p_kind with
+                         | Staticcheck.Phase_discover.Setup ->
+                             exec ();
+                             Dlog.mark d;
+                             1
+                         | Staticcheck.Phase_discover.Round { cond } ->
+                             let n = ref 0 in
+                             let continue = ref true in
+                             while !continue do
+                               if !halted' then continue := false
+                               else begin
+                                 let v = Minic.Interp.Session.eval s cond in
+                                 if v = 0 then continue := false
+                                 else exec ();
+                                 Dlog.mark d;
+                                 incr n
+                               end
+                             done;
+                             !n
+                       in
+                       (d, rounds, !halted', Minic.Interp.Session.locals s)))
+            |> List.map Domain.join)
+      in
+      let fan = ref fan_seconds in
+      List.map2
+        (fun ((pr : Staticcheck.Auto_spec.phase_result), pso)
+             (d, rounds, h, finals) ->
+          let ph = pr.Staticcheck.Auto_spec.ph in
+          let name = ph.Staticcheck.Phase_discover.p_name in
+          if !halted then zero_phase pr
+          else begin
+            Wheap.set_elided wheap (elision_for pr);
+            let stats = ref [] in
+            let ckp_total = ref 0.0 in
+            let step = make_step pr stats ckp_total in
+            record_unit ~phase:name ~label:("phase:" ^ name) ~group:fid d;
+            let (), secs =
+              Clock.time (fun () -> Dlog.replay ws ~on_mark:step d)
+            in
+            (match pso with
+            | Some (ps : Isch.phase_sched) ->
+                let pairs =
+                  try
+                    List.combine ph.Staticcheck.Phase_discover.p_lifted
+                      main_local_names
+                  with Invalid_argument _ -> []
+                in
+                List.iter
+                  (fun (lifted, orig) ->
+                    let written =
+                      match
+                        List.assoc_opt lifted
+                          ps.Isch.ps_foot.Staticcheck.Interfere.fp_writes
+                      with
+                      | Some r -> not (Staticcheck.Regions.is_bot r)
+                      | None -> false
+                    in
+                    if written then
+                      match List.assoc_opt orig finals with
+                      | Some v ->
+                          Minic.Interp.Session.set_local session orig v
+                      | None -> ())
+                  pairs
+            | None -> ());
+            if h then halted := true;
+            Wheap.set_elided wheap [];
+            let own = !fan in
+            fan := 0.0;
+            { phase = name;
+              iterations = rounds;
+              stats = List.rev !stats;
+              analysis_seconds =
+                Float.max 0.0 (own +. secs -. !ckp_total) }
+          end)
+        members results
+    end
+  in
+  (* Pair phases with their schedule entries and split into maximal runs
+     of one group id; singleton runs take the sequential driver. *)
+  let paired =
+    match sched with
+    | None ->
+        List.map (fun pr -> (pr, None)) auto.Staticcheck.Auto_spec.a_phases
+    | Some sc ->
+        List.map2
+          (fun pr ps -> (pr, Some ps))
+          auto.Staticcheck.Auto_spec.a_phases sc.Isch.sc_phases
+  in
+  let runs =
+    let rev_runs =
+      List.fold_left
+        (fun acc ((_, pso) as x) ->
+          match (acc, pso) with
+          | (((_, Some prev) :: _) as cur) :: rest, Some (ps : Isch.phase_sched)
+            when prev.Isch.ps_group = ps.Isch.ps_group ->
+              (x :: cur) :: rest
+          | _ -> [ x ] :: acc)
+        [] paired
+    in
+    List.rev_map List.rev rev_runs
+  in
+  let phases =
+    List.concat_map
+      (fun members ->
+        match members with
+        | [ one ] -> [ run_one one ]
+        | many -> run_group many)
+      runs
+  in
+  let par =
+    Option.map
+      (fun (sc : Isch.t) ->
+        { par_domains = sc.Isch.sc_domains;
+          par_schedule = sc;
+          par_units = List.rev !par_units;
+          par_sweeps = !sweeps_run })
+      sched
   in
   { mode;
     n_stmts = Minic.Ast.stmt_count program;
@@ -518,13 +797,19 @@ let analyze_inferred ?(mode = Incremental) ?(measure_traversal = false)
     chain;
     subject = Workload_heap { wheap; auto };
     env;
-    elide_plans = [] }
+    elide_plans = [];
+    par }
 
 let analyze ?mode ?division ?sea_min ?bta_min ?eta_min ?measure_traversal
-    ?guard ?preflight ?elide ?(infer = false) ?minimize ?seed_dead program =
+    ?guard ?preflight ?elide ?(infer = false) ?minimize ?seed_dead ?parallel
+    ?seed_racy program =
+  if parallel <> None && not infer then
+    invalid_arg
+      "Engine.analyze: ~parallel requires ~infer (the schedule comes from \
+       the inferred phase structure)";
   if infer then
     analyze_inferred ?mode ?measure_traversal ?guard ?elide ?minimize
-      ?seed_dead program
+      ?seed_dead ?parallel ?seed_racy program
   else
     analyze_declared ?mode ?division ?sea_min ?bta_min ?eta_min
       ?measure_traversal ?guard ?preflight ?elide program

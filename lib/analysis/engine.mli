@@ -46,6 +46,26 @@ type subject =
   | Engine_heap of Attrs.t
   | Workload_heap of { wheap : Wheap.t; auto : Staticcheck.Auto_spec.t }
 
+module Isch = Staticcheck.Interfere.Schedule
+
+type par_unit = {
+  pu_phase : string;  (** discovered phase name *)
+  pu_label : string;  (** e.g. ["smooth[8,20)"], or ["phase:loop_a"] *)
+  pu_group : int;
+      (** fork instance: units sharing it ran concurrently — the scope of
+          the oracle's pairwise observed-disjointness check *)
+  pu_reads : (string * Staticcheck.Regions.t) list;
+      (** upward-exposed reads the unit actually performed *)
+  pu_writes : (string * Staticcheck.Regions.t) list;
+}
+
+type par_report = {
+  par_domains : int;
+  par_schedule : Isch.t;  (** the static schedule the run executed *)
+  par_units : par_unit list;  (** execution order *)
+  par_sweeps : int;  (** sweep fan-outs actually executed *)
+}
+
 type report = {
   mode : mode;
   n_stmts : int;
@@ -59,6 +79,8 @@ type report = {
           unless [analyze ~elide:true] (declared runs only — inferred
           runs carry their plans in the {!subject}'s
           [Staticcheck.Auto_spec.t]) *)
+  par : par_report option;
+      (** present iff the run executed under [analyze ~parallel] *)
 }
 
 val attrs : report -> Attrs.t
@@ -93,6 +115,8 @@ val analyze :
   ?infer:bool ->
   ?minimize:bool ->
   ?seed_dead:bool ->
+  ?parallel:int ->
+  ?seed_racy:bool ->
   Minic.Ast.program ->
   report
 (** Defaults: [mode = Incremental]; [division] = the program's globals
@@ -144,6 +168,20 @@ val analyze :
     is passed to {!Staticcheck.Auto_spec.infer}: one live block is
     deliberately dropped from the minimized set, which the
     restore-equivalence oracle must catch.
+
+    [parallel]: inferred runs only ([Invalid_argument] otherwise, and
+    incompatible with [minimize]). Builds an {!Staticcheck.Interfere}
+    schedule over [n] domains and executes it: statically disjoint
+    iteration strips and phase groups run on their own OCaml domains
+    against domain-local {!Dlog} tracking stores, and the master replays
+    the write logs in schedule order through the barriered heap — the
+    chain is byte-identical to the sequential run whenever the static
+    disjointness proof holds, which [Elide_oracle.run_par] re-checks
+    dynamically together with observed-footprint disjointness.
+    [seed_racy] asks the schedule to widen one strip's executed range by
+    one cell after the static checks (see
+    {!Staticcheck.Interfere.schedule}) — the self-test that the dynamic
+    oracle actually gates parallel runs.
 
     The chain in the result can be recovered to verify the checkpointed
     analysis state (see the crash-recovery example). *)

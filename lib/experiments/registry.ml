@@ -29,7 +29,10 @@ let all =
       run = Ablation_dedup.run };
     { name = Ablation_live.name;
       title = Ablation_live.title;
-      run = Ablation_live.run } ]
+      run = Ablation_live.run };
+    { name = Ablation_par.name;
+      title = Ablation_par.title;
+      run = Ablation_par.run } ]
 
 let find name = List.find_opt (fun e -> e.name = name) all
 

@@ -240,4 +240,17 @@ module Session = struct
   let steps t = t.m.steps
 
   let final_globals t = final_globals t.m.program t.m.store
+
+  let locals t =
+    Hashtbl.fold
+      (fun name v acc ->
+        match v with V_int r -> (name, !r) :: acc | V_array _ -> acc)
+      t.main_locals []
+    |> List.sort compare
+
+  let set_local t name v =
+    match Hashtbl.find_opt t.main_locals name with
+    | Some (V_int r) -> r := v
+    | Some (V_array _) -> fail "array local %s set as scalar" name
+    | None -> fail "unbound local %s" name
 end

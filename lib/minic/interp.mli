@@ -68,4 +68,12 @@ module Session : sig
   val steps : t -> int
 
   val final_globals : t -> (string * int) list
+
+  val locals : t -> (string * int) list
+  (** Current scalar values of [main]'s locals, sorted by name — what a
+      parallel phase unit must carry back to the master session. *)
+
+  val set_local : t -> string -> int -> unit
+  (** Overwrite one scalar local. @raise Runtime_error on arrays or
+      unknown names. *)
 end

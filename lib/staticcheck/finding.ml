@@ -105,9 +105,10 @@ let to_json f =
     (json_escape f.reason)
 
 (* Version 2: added the schema_version field itself (version 1 envelopes
-   carried no marker). Bump on any structural change to the envelope or
-   to the per-finding object. *)
-let schema_version = 2
+   carried no marker). Version 3: the [par] subcommand joined the family
+   (its envelope carries schedule/oracle extras). Bump on any structural
+   change to the envelope or to the per-finding object. *)
+let schema_version = 3
 
 let envelope ~subcommand ?(extra = []) ~exit_code findings =
   Printf.sprintf

@@ -39,9 +39,10 @@ val pp_report : Format.formatter -> t list -> unit
     downstream tooling parses one schema whatever the subcommand. *)
 
 val schema_version : int
-(** Version of the envelope layout (currently [2]: the version that
-    introduced the [schema_version] field). Consumers should reject
-    envelopes with a higher major version than they understand. *)
+(** Version of the envelope layout (currently [3]: the version that
+    added the [par] subcommand to the family; [2] introduced the
+    [schema_version] field itself). Consumers should reject envelopes
+    with a higher major version than they understand. *)
 
 val json_escape : string -> string
 

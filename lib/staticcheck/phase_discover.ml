@@ -61,10 +61,12 @@ let rec subst_expr ren = function
       Ast.E_binop (op, subst_expr ren l, subst_expr ren r)
   | Ast.E_call (g, args) -> Ast.E_call (g, List.map (subst_expr ren) args)
 
-(* Substitute renamed locals and drop [return] statements: a return only
-   ends execution early, so removing it lets the may-write analysis see
-   every statement of the round — an over-approximation, which is the
-   sound direction for effect inference. *)
+(* Substitute renamed locals and neutralize [return] statements: a return
+   only ends execution early, so replacing it by an effect-evaluation of
+   its expression lets the may-analyses see every statement of the round
+   — an over-approximation, which is the sound direction — while keeping
+   the expression's {e reads} visible (the interference analysis needs
+   them: a trailing [return table[0]] really does read [table]). *)
 let rec subst_stmt ren (s : Ast.stmt) : Ast.stmt list =
   match s.Ast.node with
   | Ast.S_assign (x, e) ->
@@ -83,7 +85,8 @@ let rec subst_stmt ren (s : Ast.stmt) : Ast.stmt list =
   | Ast.S_while (c, b) ->
       [ Ast.stmt
           (Ast.S_while (subst_expr ren c, List.concat_map (subst_stmt ren) b)) ]
-  | Ast.S_return _ -> []
+  | Ast.S_return None -> []
+  | Ast.S_return (Some e) -> [ Ast.stmt (Ast.S_expr (subst_expr ren e)) ]
 
 (* The one-round analysis program of a phase: same globals and functions,
    [main]'s locals lifted to (fresh, zero-initialized) globals, and a new

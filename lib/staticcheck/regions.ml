@@ -212,6 +212,15 @@ let widen a b =
         | Some ha, Some hb -> of_itv (itv_widen ha (itv_join ha hb))
         | _ -> Top)
 
+(* The scheduler-facing names: [inter] is exact set intersection on this
+   lattice (meet of Segs is precise, not an over-approximation), so
+   [disjoint] is a definite no-common-cell fact — what the interference
+   analysis needs to prove before two footprints may run on separate
+   domains. *)
+let inter = meet
+
+let disjoint a b = is_bot (meet a b)
+
 let clamp ~lo ~hi r = meet r (interval lo hi)
 
 let complement_in ~lo ~hi r =

@@ -74,6 +74,17 @@ val widen : t -> t -> t
 (** Hull-collapsing widening: any strictly growing chain
     [r0 <= widen r0 r1 <= ...] stabilizes after finitely many steps. *)
 
+val inter : t -> t -> t
+(** Exact set intersection — an alias of {!meet}, named for the
+    interference analysis: on [Segs] the meet is precise, so an empty
+    intersection is a definite no-common-cell fact, not an
+    approximation. *)
+
+val disjoint : t -> t -> bool
+(** [disjoint a b] iff [inter a b] is {!Bot}: no cell lies in both
+    regions. The pairwise precondition for scheduling two footprints on
+    separate domains. *)
+
 val clamp : lo:int -> hi:int -> t -> t
 (** Meet with [[lo, hi]] — e.g. restrict a store region to the extent of
     the written array. [Top] clamps to the full extent. *)

@@ -368,6 +368,12 @@ let json_envelopes () =
            ("oracle_ok", "true"); ("baseline_bytes", "573");
            ("minimized_bytes", "330") ]
        ~exit_code:0 []);
+  check_envelope ~subcommand:"par" ~exit_code:0
+    (Fi.envelope ~subcommand:"par"
+       ~extra:
+         [ ("domains", "4"); ("par_sweeps", "2"); ("refused_sweeps", "0");
+           ("groups", "0"); ("seeded", "false"); ("oracle_ok", "true") ]
+       ~exit_code:0 []);
   (* findings survive the escape round-trip *)
   let j = parse_json raw in
   match field j "findings" with

@@ -393,6 +393,45 @@ let prop_regions_join_idem_bounds =
       && Regions.leq b (Regions.join a b)
       && Regions.leq (Regions.meet a b) a)
 
+let prop_regions_disjoint_concrete =
+  QCheck2.Test.make
+    ~name:"regions: disjoint/inter agree with concrete membership" ~count:300
+    QCheck2.Gen.(pair region_gen region_gen)
+    (fun (a, b) ->
+      (* inter is the exact set intersection and disjoint its emptiness
+         test — the soundness of the interference analysis rests on
+         these being concrete facts, not approximations. Sampled points
+         cover the generator's interval range with margin. *)
+      let points = List.init 81 (fun i -> i - 25) in
+      let inter = Regions.inter a b in
+      List.for_all
+        (fun p ->
+          Regions.mem p inter = (Regions.mem p a && Regions.mem p b))
+        points
+      && Regions.disjoint a b
+         = not
+             (List.exists (fun p -> Regions.mem p a && Regions.mem p b) points)
+      && Regions.disjoint a b = Regions.is_bot inter)
+
+let prop_regions_inter_algebra =
+  QCheck2.Test.make ~name:"regions: inter algebra (meet alias, hull bound)"
+    ~count:300
+    QCheck2.Gen.(pair region_gen region_gen)
+    (fun (a, b) ->
+      let inter = Regions.inter a b in
+      Regions.equal inter (Regions.meet a b)
+      && Regions.equal inter (Regions.inter b a)
+      && Regions.leq inter a && Regions.leq inter b
+      && Regions.equal (Regions.inter a a) a
+      && Regions.equal (Regions.inter a Regions.bot) Regions.bot
+      && Regions.equal (Regions.join a inter) a
+      (* absorption *)
+      &&
+      match (Regions.hull inter, Regions.hull a) with
+      | None, _ -> Regions.is_bot inter
+      | Some _, None -> false (* inter below a cannot outgrow it *)
+      | Some hi, Some ha -> Regions.leq (Regions.of_itv hi) (Regions.of_itv ha))
+
 let prop_regions_widen_terminates =
   QCheck2.Test.make ~name:"regions: widening chains terminate" ~count:200
     QCheck2.Gen.(list_size (int_range 1 30) region_gen)
@@ -458,4 +497,6 @@ let suites =
         QCheck_alcotest.to_alcotest prop_regions_join_comm;
         QCheck_alcotest.to_alcotest prop_regions_join_assoc;
         QCheck_alcotest.to_alcotest prop_regions_join_idem_bounds;
+        QCheck_alcotest.to_alcotest prop_regions_disjoint_concrete;
+        QCheck_alcotest.to_alcotest prop_regions_inter_algebra;
         QCheck_alcotest.to_alcotest prop_regions_widen_terminates ] ) ]
