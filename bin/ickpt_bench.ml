@@ -310,6 +310,44 @@ let par_cmd =
   in
   Cmd.v (Cmd.info "par" ~doc) Term.(ret (const par $ out_arg))
 
+let tenant_cmd =
+  let out_arg =
+    let doc = "Write the rows as JSON (the BENCH_8.json document) to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "o"; "json" ] ~docv:"PATH" ~doc)
+  in
+  let repeat_arg =
+    let doc =
+      "Chain replays per tenant session (longer sessions; 1 for a smoke \
+       run)."
+    in
+    Arg.(value & opt int 3 & info [ "repeat" ] ~docv:"N" ~doc)
+  in
+  let tenant out repeat =
+    let rows = Ablation_tenant.measure_all ~repeat () in
+    let ppf = Format.std_formatter in
+    Ablation_tenant.pp_table ppf rows;
+    let checks = Ablation_tenant.checks rows in
+    Workload.pp_checks ppf checks;
+    (match out with
+    | None -> ()
+    | Some path ->
+        let oc = open_out_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () -> output_string oc (Ablation_tenant.json rows));
+        Format.fprintf ppf "wrote %s@." path);
+    if Workload.all_ok checks then `Ok ()
+    else `Error (false, "multi-tenant service ablation checks failed")
+  in
+  let doc =
+    "measure multi-tenant throughput, group-commit fsync amortization and \
+     cross-tenant dedup on the shared pack, gated per row by per-tenant \
+     restore identity"
+  in
+  Cmd.v
+    (Cmd.info "tenant" ~doc)
+    Term.(ret (const tenant $ out_arg $ repeat_arg))
+
 let () =
   let doc =
     "benchmark harness for the incremental-checkpointing reproduction"
@@ -319,4 +357,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ run_cmd; list_cmd; micro_cmd; crash_cmd; barrier_cmd; dedup_cmd;
-            live_cmd; par_cmd ]))
+            live_cmd; par_cmd; tenant_cmd ]))

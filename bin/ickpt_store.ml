@@ -55,8 +55,60 @@ let stats_json (s : Store.stats) =
 
 (* ---- inspect ------------------------------------------------------------- *)
 
+(* A service store (one shared pack, per-shard mux indexes) is inspected
+   through per-tenant attribution: who owns which chunks, who shares, and
+   what cross-tenant dedup saved each tenant. *)
+let inspect_service path json =
+  let open Ickpt_service in
+  let rows = Attrib.rows ~path () in
+  let svc = Service.open_ ~path () in
+  let problems = Service.check svc in
+  Service.close svc;
+  if json then begin
+    let buf = Buffer.create 512 in
+    Buffer.add_string buf
+      (Printf.sprintf "{\n  \"path\": %S,\n  \"service\": true,\n  \
+                       \"tenants\": [\n" path);
+    List.iteri
+      (fun i r ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "    {\"tenant\": %S, \"epochs\": %d, \"chunks\": %d, \
+              \"owned\": %d, \"shared\": %d,\n\
+             \     \"logical_bytes\": %d, \"private_bytes\": %d, \
+              \"saved_bytes\": %d}%s\n"
+             r.Attrib.a_name r.Attrib.a_epochs r.Attrib.a_chunks
+             r.Attrib.a_owned r.Attrib.a_shared r.Attrib.a_logical_bytes
+             r.Attrib.a_private_bytes r.Attrib.a_saved_bytes
+             (if i = List.length rows - 1 then "" else ",")))
+      rows;
+    Buffer.add_string buf
+      (Printf.sprintf "  ],\n  \"check_errors\": [%s]\n}\n"
+         (String.concat ", " (List.map (Printf.sprintf "%S") problems)));
+    print_string (Buffer.contents buf)
+  end
+  else begin
+    Format.printf "service store %s (%d tenant(s))@." path (List.length rows);
+    Format.printf
+      "  %-12s %7s %7s %7s %7s %12s %12s %12s@." "tenant" "epochs" "chunks"
+      "owned" "shared" "logical B" "private B" "saved B";
+    List.iter
+      (fun r ->
+        Format.printf "  %-12s %7d %7d %7d %7d %12d %12d %12d@."
+          r.Attrib.a_name r.Attrib.a_epochs r.Attrib.a_chunks r.Attrib.a_owned
+          r.Attrib.a_shared r.Attrib.a_logical_bytes r.Attrib.a_private_bytes
+          r.Attrib.a_saved_bytes)
+      rows;
+    match problems with
+    | [] -> Format.printf "  check: consistent@."
+    | ps -> List.iter (fun p -> Format.printf "  check ERROR: %s@." p) ps
+  end;
+  if problems <> [] then exit 1
+
 let inspect_cmd =
   let inspect path json =
+    if Ickpt_service.Attrib.is_service_store path then inspect_service path json
+    else
     let store = open_existing path in
     let problems = Store.check store in
     let stats = Store.stats store in

@@ -32,7 +32,10 @@ let all =
       run = Ablation_live.run };
     { name = Ablation_par.name;
       title = Ablation_par.title;
-      run = Ablation_par.run } ]
+      run = Ablation_par.run };
+    { name = Ablation_tenant.name;
+      title = Ablation_tenant.title;
+      run = Ablation_tenant.run } ]
 
 let find name = List.find_opt (fun e -> e.name = name) all
 

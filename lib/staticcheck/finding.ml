@@ -106,14 +106,19 @@ let to_json f =
 
 (* Version 2: added the schema_version field itself (version 1 envelopes
    carried no marker). Version 3: the [par] subcommand joined the family
-   (its envelope carries schedule/oracle extras). Bump on any structural
-   change to the envelope or to the per-finding object. *)
-let schema_version = 3
+   (its envelope carries schedule/oracle extras). Version 4: the [tool]
+   field became parameterized — ickpt_serve emits the same envelope under
+   its own name, and hash-collision findings (scope "store:collision")
+   joined the per-finding vocabulary. Bump on any structural change to
+   the envelope or to the per-finding object. *)
+let schema_version = 4
 
-let envelope ~subcommand ?(extra = []) ~exit_code findings =
+let envelope ?(tool = "ickpt_lint") ~subcommand ?(extra = []) ~exit_code
+    findings =
   Printf.sprintf
-    {|{"tool":"ickpt_lint","schema_version":%d,"subcommand":"%s","errors":%d,"warnings":%d,"findings":[%s],%s"exit_code":%d}|}
-    schema_version (json_escape subcommand) (count Error findings)
+    {|{"tool":"%s","schema_version":%d,"subcommand":"%s","errors":%d,"warnings":%d,"findings":[%s],%s"exit_code":%d}|}
+    (json_escape tool) schema_version (json_escape subcommand)
+    (count Error findings)
     (count Warning findings)
     (String.concat "," (List.map to_json findings))
     (String.concat ""

@@ -39,10 +39,12 @@ val pp_report : Format.formatter -> t list -> unit
     downstream tooling parses one schema whatever the subcommand. *)
 
 val schema_version : int
-(** Version of the envelope layout (currently [3]: the version that
-    added the [par] subcommand to the family; [2] introduced the
-    [schema_version] field itself). Consumers should reject envelopes
-    with a higher major version than they understand. *)
+(** Version of the envelope layout (currently [4]: the version that
+    parameterized the [tool] field — [ickpt_serve] shares the envelope —
+    and added hash-collision findings; [3] added the [par] subcommand to
+    the family; [2] introduced the [schema_version] field itself).
+    Consumers should reject envelopes with a higher major version than
+    they understand. *)
 
 val json_escape : string -> string
 
@@ -50,11 +52,13 @@ val to_json : t -> string
 (** One finding as a JSON object. *)
 
 val envelope :
+  ?tool:string ->
   subcommand:string ->
   ?extra:(string * string) list ->
   exit_code:int ->
   t list ->
   string
-(** The whole envelope (one line, no trailing newline). [extra] pairs are
+(** The whole envelope (one line, no trailing newline). [tool] (default
+    ["ickpt_lint"]) names the emitting executable; [extra] pairs are
     spliced in as additional top-level fields; each value must already be
     valid JSON. *)

@@ -10,6 +10,22 @@ let default_records_per_chunk = 16
 
 let key_of s = Ickpt_stream.Hash64.string s
 
+let max_salt_attempts = 8
+
+let salted_key s ~attempt =
+  if attempt < 1 || attempt > max_salt_attempts then
+    invalid_arg "Chunk.salted_key: attempt out of range";
+  Ickpt_stream.Hash64.string (Printf.sprintf "ickpt-salt-%d:%s" attempt s)
+
+let key_matches key data =
+  key_of data = key
+  ||
+  let rec go attempt =
+    attempt <= max_salt_attempts
+    && (salted_key data ~attempt = key || go (attempt + 1))
+  in
+  go 1
+
 let split ?(records_per_chunk = default_records_per_chunk) schema body =
   if records_per_chunk < 1 then invalid_arg "Chunk.split: records_per_chunk";
   let frames = Restore.scan_body schema body in

@@ -26,6 +26,22 @@ val default_records_per_chunk : int
 val key_of : string -> int
 (** The content key of raw chunk bytes (= {!Ickpt_stream.Hash64.string}). *)
 
+val max_salt_attempts : int
+(** 8 — the rehash ladder a 63-bit collision climbs before the store gives
+    up (probability of needing even the second rung is negligible). *)
+
+val salted_key : string -> attempt:int -> int
+(** The [attempt]-th fallback key for chunk bytes whose content key is
+    already taken by different bytes (a {!Ickpt_stream.Hash64} collision):
+    the hash of a salt prefix plus the bytes. Deterministic, so a reopened
+    store re-derives the same ladder and dedups salted chunks too.
+    @raise Invalid_argument unless [1 <= attempt <= max_salt_attempts]. *)
+
+val key_matches : int -> string -> bool
+(** [key_matches key data] — is [key] a legitimate stored key for [data]:
+    its content key or any rung of the salt ladder? The integrity checks
+    use this so salted chunks verify like any other. *)
+
 val split :
   ?records_per_chunk:int -> Ickpt_runtime.Schema.t -> string -> t list
 (** Split a segment body. The empty body yields [[]]; every other body

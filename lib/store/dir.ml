@@ -1,0 +1,66 @@
+open Ickpt_runtime
+open Ickpt_core
+
+exception Error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+let entry_at entries epoch =
+  match
+    List.find_opt (fun (e : Epoch_index.entry) -> e.epoch = epoch) entries
+  with
+  | Some e -> e
+  | None -> error "unknown epoch %d" epoch
+
+let fold ~entries ~epoch =
+  let e = entry_at entries epoch in
+  let upto =
+    List.filter (fun (x : Epoch_index.entry) -> x.epoch <= epoch) entries
+  in
+  (* A full epoch's delta is a complete directory by construction, so fold
+     newest-wins from the nearest full at or before [epoch] — nothing older
+     matters. *)
+  let base =
+    List.fold_left
+      (fun acc (x : Epoch_index.entry) ->
+        if x.kind = Segment.Full then x.epoch else acc)
+      e.epoch upto
+  in
+  let dir : (int, int * int) Hashtbl.t = Hashtbl.create 1024 in
+  List.iter
+    (fun (x : Epoch_index.entry) ->
+      if x.epoch >= base then begin
+        let chunk_arr = Array.of_list x.chunks in
+        List.iter
+          (fun { Epoch_index.d_id; d_chunk; d_off } ->
+            Hashtbl.replace dir d_id (chunk_arr.(d_chunk), d_off))
+          x.dir
+      end)
+    upto;
+  dir
+
+type reader = {
+  pack : Pack.t;
+  schema : Schema.t;
+  cache : (int, string) Hashtbl.t;
+}
+
+let reader pack schema = { pack; schema; cache = Hashtbl.create 64 }
+
+let record r (key, off) =
+  let data =
+    match Hashtbl.find_opt r.cache key with
+    | Some d -> d
+    | None ->
+        let d = Pack.read r.pack key in
+        Hashtbl.replace r.cache key d;
+        d
+  in
+  Restore.record_at r.schema data ~pos:off
+
+let restore r ~entries ~epoch =
+  let e = entry_at entries epoch in
+  let dir = fold ~entries ~epoch in
+  let table = Restore.empty_table () in
+  Hashtbl.iter (fun _id ptr -> Restore.add_record table (record r ptr)) dir;
+  Restore.materialize r.schema table ~roots:e.roots

@@ -1,0 +1,31 @@
+(** Resolving per-object directories and materializing heaps from a pack
+    plus a list of epoch entries — the O(live-records) read path shared by
+    {!Store} (one tenant, one index file) and [Ickpt_service.Service]
+    (many tenants' entry lists demultiplexed from per-shard files). *)
+
+open Ickpt_runtime
+open Ickpt_core
+
+exception Error of string
+(** Raised on an epoch not present in the given entries. *)
+
+val fold :
+  entries:Epoch_index.entry list -> epoch:int -> (int, int * int) Hashtbl.t
+(** The resolved per-object directory at [epoch]: record id -> (chunk key,
+    byte offset). Folds directory deltas newest-wins from the nearest full
+    epoch at or before [epoch]. [entries] must be one chain's entries,
+    oldest first. *)
+
+type reader
+(** A pack + schema with a chunk cache: each chunk is fetched once however
+    many records it resolves. *)
+
+val reader : Pack.t -> Schema.t -> reader
+
+val record : reader -> int * int -> Restore.record
+(** Decode the record at a directory pointer. *)
+
+val restore :
+  reader -> entries:Epoch_index.entry list -> epoch:int -> Heap.t * Model.obj list
+(** Materialize the heap committed at [epoch]: fold the directory, decode
+    exactly one record per live object. Roots are the entry's. *)

@@ -58,3 +58,28 @@ val write_staged : Vfs.t -> path:string -> entry list -> string
 (** Write a fresh index holding exactly [entries] to the staging path
     ({!Ickpt_core.Storage.temp_of}[ ~path]), sync it, and return that
     path. Used by GC; the caller commits by renaming over [path]. *)
+
+(** {1 Multiplexed (per-shard) index}
+
+    The multi-tenant service stores many tenants' epoch entries in one
+    per-shard file, interleaved in commit order. The wire format is the
+    plain entry with magic ["ICKM"] and a tenant-id varint between the
+    version byte and the payload; per-tenant commit-point ordering is the
+    file order restricted to that tenant. A batch append is {e one} write
+    and {e one} sync — the group-commit point shared by every entry in the
+    batch — so a torn tail cuts whole entries off the end and every
+    tenant's surviving entries remain a committed prefix (the pack is
+    synced before the index batch, as for the plain store). *)
+
+type mux_entry = { m_tenant : int; m_entry : entry }
+
+val encode_mux : mux_entry -> string
+
+val load_mux : Vfs.t -> string -> mux_entry list * int
+(** Every intact multiplexed entry (file order) and the byte offset of the
+    first undecodable one. A missing file is the empty index. Performs no
+    writes. *)
+
+val append_mux_batch : Vfs.t -> string -> mux_entry list -> unit
+(** Append the batch in one writer session and one sync — the group-commit
+    point of every epoch in it. The empty batch performs no I/O. *)

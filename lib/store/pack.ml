@@ -124,6 +124,37 @@ let append_batch t batch =
         batch;
       String.length frames
 
+type resolution =
+  | Dup of int
+  | Fresh of { key : int; attempt : int }
+
+(* Walk the salt ladder: the content key first, then salted rehashes. A key
+   hit only counts as a duplicate if the bytes agree — otherwise it is a
+   collision and the next rung is tried. [pending] holds same-batch fresh
+   chunks not yet in the pack; a Fresh result is recorded there so the rest
+   of the batch dedups (and collides) against it too. *)
+let resolve t ~pending data =
+  let rec go attempt =
+    if attempt > Chunk.max_salt_attempts then
+      failwith "Pack.resolve: salted rehash attempts exhausted"
+    else
+      let key =
+        if attempt = 0 then Chunk.key_of data
+        else Chunk.salted_key data ~attempt
+      in
+      let stored =
+        if Hashtbl.mem t.tbl key then Some (read t key)
+        else Hashtbl.find_opt pending key
+      in
+      match stored with
+      | Some existing ->
+          if String.equal existing data then Dup key else go (attempt + 1)
+      | None ->
+          Hashtbl.replace pending key data;
+          Fresh { key; attempt }
+  in
+  go 0
+
 let stage_rewrite t ~keep =
   let tmp = Storage.temp_of ~path:t.file in
   let w = t.vfs.Vfs.open_trunc tmp in

@@ -54,6 +54,23 @@ val append_batch : t -> (int * string) list -> int
     programming error ({!Invalid_argument}). Returns the number of bytes
     appended. The empty batch performs no I/O. *)
 
+type resolution =
+  | Dup of int  (** byte-identical chunk already stored (or pending) here *)
+  | Fresh of { key : int; attempt : int }
+      (** not stored yet; store it under [key]. [attempt = 0] is the plain
+          content key; [attempt > 0] means the content key (and any earlier
+          salted keys) collided with {e different} bytes and [key] is the
+          [attempt]-th {!Chunk.salted_key} — the graceful-degradation path a
+          shared multi-tenant pack takes instead of refusing the append. *)
+
+val resolve : t -> pending:(int, string) Hashtbl.t -> string -> resolution
+(** Resolve chunk bytes to the key they live (or should live) under,
+    byte-verifying every key hit and climbing the salt ladder past
+    collisions. [pending] carries fresh chunks of the same batch that are
+    not in the pack yet; a [Fresh] result is added to it. Does not write.
+    @raise Failure if all [1 + ]{!Chunk.max_salt_attempts} keys collide
+    (cryptographically unreachable). *)
+
 val stage_rewrite : t -> keep:(int -> bool) -> string
 (** Write a pack containing only the kept chunks (in their original order)
     to the staging path ({!Ickpt_core.Storage.temp_of}), sync it, and

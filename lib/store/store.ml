@@ -9,6 +9,13 @@ let pack_path path = path ^ ".pack"
 
 let index_path path = path ^ ".idx"
 
+type collision = {
+  col_epoch : int;
+  col_content_key : int;
+  col_stored_key : int;
+  col_attempt : int;
+}
+
 type t = {
   vfs : Vfs.t;
   root : string;
@@ -16,6 +23,7 @@ type t = {
   records_per_chunk : int;
   pack : Pack.t;
   mutable entries : Epoch_index.entry list;  (* oldest first *)
+  mutable collided : collision list;  (* newest first; this session only *)
 }
 
 let path t = t.root
@@ -85,7 +93,7 @@ let open_ ?(vfs = Vfs.real) ?(records_per_chunk = Chunk.default_records_per_chun
   if List.length entries < List.length loaded then
     vfs.Vfs.truncate index_file
       ~len:(entries_byte_length loaded (List.length entries));
-  { vfs; root; schema; records_per_chunk; pack; entries }
+  { vfs; root; schema; records_per_chunk; pack; entries; collided = [] }
 
 (* ------------------------------------------------------------------ *)
 (* Lookup helpers.                                                     *)
@@ -114,6 +122,7 @@ let roots_of_epoch t epoch = (entry_at t epoch).roots
 type append_stats = {
   chunks_total : int;
   chunks_new : int;
+  chunks_salted : int;
   bytes_logical : int;
   bytes_written : int;
 }
@@ -131,33 +140,42 @@ let append_segment t (seg : Segment.t) =
   let chunks = Chunk.split ~records_per_chunk:t.records_per_chunk t.schema seg.body in
   (* Dedup: a key hit is only a duplicate if the bytes agree — the 63-bit
      hash makes a collision negligible but not impossible, and a silent one
-     would corrupt the epoch, so verify and refuse. *)
-  let in_batch : (int, string) Hashtbl.t = Hashtbl.create 16 in
+     would corrupt the epoch. Pack.resolve byte-verifies every hit and, on
+     a genuine collision, degrades gracefully to a salted rehash instead of
+     refusing the append (a shared pack must not die on one tenant's
+     pathological chunk). Collisions are recorded for the caller to
+     surface. *)
+  let pending : (int, string) Hashtbl.t = Hashtbl.create 16 in
+  let resolved =
+    List.map (fun (c : Chunk.t) -> (c, Pack.resolve t.pack ~pending c.data)) chunks
+  in
+  let key_of_resolution = function
+    | Pack.Dup k -> k
+    | Pack.Fresh { key; _ } -> key
+  in
   let fresh =
-    List.filter
-      (fun (c : Chunk.t) ->
-        if Pack.mem t.pack c.key then begin
-          if not (String.equal (Pack.read t.pack c.key) c.data) then
-            error "hash collision on chunk key %s"
-              (Ickpt_stream.Hash64.to_hex c.key);
-          false
-        end
-        else
-          match Hashtbl.find_opt in_batch c.key with
-          | Some data ->
-              if not (String.equal data c.data) then
-                error "hash collision on chunk key %s"
-                  (Ickpt_stream.Hash64.to_hex c.key);
-              false
-          | None ->
-              Hashtbl.replace in_batch c.key c.data;
-              true)
-      chunks
+    List.filter_map
+      (fun ((c : Chunk.t), r) ->
+        match r with
+        | Pack.Dup _ -> None
+        | Pack.Fresh { key; _ } -> Some (key, c.data))
+      resolved
   in
-  let pack_bytes =
-    Pack.append_batch t.pack
-      (List.map (fun (c : Chunk.t) -> (c.key, c.data)) fresh)
+  let salted =
+    List.filter_map
+      (fun ((c : Chunk.t), r) ->
+        match r with
+        | Pack.Fresh { key; attempt } when attempt > 0 ->
+            Some
+              { col_epoch = seg.seq;
+                col_content_key = c.key;
+                col_stored_key = key;
+                col_attempt = attempt }
+        | _ -> None)
+      resolved
   in
+  t.collided <- List.rev_append salted t.collided;
+  let pack_bytes = Pack.append_batch t.pack fresh in
   let dir =
     List.concat
       (List.mapi
@@ -172,15 +190,18 @@ let append_segment t (seg : Segment.t) =
     { Epoch_index.epoch = seg.seq;
       kind = seg.kind;
       roots = seg.roots;
-      chunks = List.map (fun (c : Chunk.t) -> c.key) chunks;
+      chunks = List.map (fun (_, r) -> key_of_resolution r) resolved;
       dir }
   in
   Epoch_index.append t.vfs (index_path t.root) entry;
   t.entries <- t.entries @ [ entry ];
   { chunks_total = List.length chunks;
     chunks_new = List.length fresh;
+    chunks_salted = List.length salted;
     bytes_logical = String.length seg.body;
     bytes_written = pack_bytes + String.length (Epoch_index.encode entry) }
+
+let collisions t = List.rev t.collided
 
 (* ------------------------------------------------------------------ *)
 (* Reading.                                                            *)
@@ -193,31 +214,11 @@ let segment_of_epoch t epoch =
   { Segment.kind = e.kind; seq = e.epoch; roots = e.roots; body }
 
 (* The resolved per-object directory at [epoch]: id -> (chunk key, byte
-   offset). Folds newest-wins from the nearest full epoch — a full's delta
-   is a complete directory by construction, so nothing older matters. *)
+   offset). The fold itself lives in {!Dir} so the multi-tenant service can
+   run it over demultiplexed per-tenant entry lists. *)
 let dir_at t ~epoch =
-  let e = entry_at t epoch in
-  let upto =
-    List.filter (fun (x : Epoch_index.entry) -> x.epoch <= epoch) t.entries
-  in
-  let base =
-    List.fold_left
-      (fun acc (x : Epoch_index.entry) ->
-        if x.kind = Segment.Full then x.epoch else acc)
-      e.epoch upto
-  in
-  let dir : (int, int * int) Hashtbl.t = Hashtbl.create 1024 in
-  List.iter
-    (fun (x : Epoch_index.entry) ->
-      if x.epoch >= base then begin
-        let chunk_arr = Array.of_list x.chunks in
-        List.iter
-          (fun { Epoch_index.d_id; d_chunk; d_off } ->
-            Hashtbl.replace dir d_id (chunk_arr.(d_chunk), d_off))
-          x.dir
-      end)
-    upto;
-  dir
+  ignore (entry_at t epoch : Epoch_index.entry);
+  Dir.fold ~entries:t.entries ~epoch
 
 let record_of_pointer t cache (key, off) =
   let data =
@@ -231,14 +232,8 @@ let record_of_pointer t cache (key, off) =
   Restore.record_at t.schema data ~pos:off
 
 let restore t ~epoch =
-  let e = entry_at t epoch in
-  let dir = dir_at t ~epoch in
-  let table = Restore.empty_table () in
-  let cache = Hashtbl.create 64 in
-  Hashtbl.iter
-    (fun _id ptr -> Restore.add_record table (record_of_pointer t cache ptr))
-    dir;
-  Restore.materialize t.schema table ~roots:e.roots
+  ignore (entry_at t epoch : Epoch_index.entry);
+  Dir.restore (Dir.reader t.pack t.schema) ~entries:t.entries ~epoch
 
 (* ------------------------------------------------------------------ *)
 (* Diff.                                                               *)
@@ -400,6 +395,20 @@ let stats t =
       (if pack_bytes = 0 then 1.0
        else float_of_int logical_bytes /. float_of_int pack_bytes) }
 
+let salted_chunks t =
+  List.filter_map
+    (fun k ->
+      let data = Pack.read t.pack k in
+      if Chunk.key_of data = k then None
+      else
+        let rec find attempt =
+          if attempt > Chunk.max_salt_attempts then None
+          else if Chunk.salted_key data ~attempt = k then Some (k, attempt)
+          else find (attempt + 1)
+        in
+        find 1)
+    (Pack.keys t.pack)
+
 let check t =
   let errs = ref [] in
   let err fmt = Format.kasprintf (fun s -> errs := s :: !errs) fmt in
@@ -421,7 +430,7 @@ let check t =
           if not (Pack.mem t.pack k) then
             err "epoch %d references missing chunk %s" e.epoch
               (Ickpt_stream.Hash64.to_hex k)
-          else if Chunk.key_of (Pack.read t.pack k) <> k then
+          else if not (Chunk.key_matches k (Pack.read t.pack k)) then
             err "chunk %s content does not match its key"
               (Ickpt_stream.Hash64.to_hex k)
           else ignore i)

@@ -23,7 +23,10 @@
 
     Chunk keys are 63-bit content hashes; a key hit during dedup is
     verified byte-for-byte against the stored chunk, so a hash collision
-    raises {!Error} instead of silently corrupting an epoch. *)
+    never silently corrupts an epoch — the chunk is stored under a salted
+    rehash ({!Chunk.salted_key}) instead, the append succeeds, and the
+    event is recorded ({!collisions}) for the caller to surface (the CLI
+    reports it as a finding in the JSON envelope). *)
 
 open Ickpt_runtime
 open Ickpt_core
@@ -54,6 +57,8 @@ val schema : t -> Schema.t
 type append_stats = {
   chunks_total : int;  (** chunks the segment split into *)
   chunks_new : int;  (** how many were not already stored *)
+  chunks_salted : int;  (** of the new ones, how many hit a hash collision
+                            and were stored under a salted rehash *)
   bytes_logical : int;  (** segment body bytes *)
   bytes_written : int;  (** physical bytes appended (pack + index) *)
 }
@@ -61,9 +66,26 @@ type append_stats = {
 val append_segment : t -> Segment.t -> append_stats
 (** Store one segment as the next epoch. Its [seq] must be [latest + 1] —
     or, on an empty store, any non-negative value provided the segment is
-    full. Durable (both files synced) when this returns.
-    @raise Error on kind/sequence violations or a detected hash
-    collision. *)
+    full. Durable (both files synced) when this returns. A hash collision
+    does not fail the append: the chunk is stored under a salted rehash
+    and the event recorded ({!collisions}).
+    @raise Error on kind/sequence violations. *)
+
+type collision = {
+  col_epoch : int;  (** epoch whose append hit the collision *)
+  col_content_key : int;  (** the chunk's true content key, already taken *)
+  col_stored_key : int;  (** the salted key the chunk was stored under *)
+  col_attempt : int;  (** which rung of the salt ladder (>= 1) *)
+}
+
+val collisions : t -> collision list
+(** Collisions hit by appends {e this session}, oldest first. (Collisions
+    survive on disk as salted chunks — see {!salted_chunks} — but the
+    pairing with the epoch that hit them is session-local.) *)
+
+val salted_chunks : t -> (int * int) list
+(** [(stored key, salt attempt)] for every chunk in the pack stored under
+    a salted rehash — detectable from bytes alone, so it survives reopen. *)
 
 (** {1 Reading} *)
 

@@ -307,14 +307,17 @@ let field obj k =
       | None -> Alcotest.failf "envelope missing field %s" k)
   | _ -> Alcotest.fail "envelope is not an object"
 
-let check_envelope ~subcommand ~exit_code raw =
+let check_envelope ?(tool = "ickpt_lint") ~subcommand ~exit_code raw =
   let j = parse_json raw in
   (match field j "tool" with
-  | J_str "ickpt_lint" -> ()
+  | J_str t -> check_string "tool" tool t
   | _ -> Alcotest.fail "tool field");
   (match field j "schema_version" with
   | J_num v ->
-      check_int "schema_version" Fi.schema_version (int_of_float v)
+      check_int "schema_version" Fi.schema_version (int_of_float v);
+      (* Version 4: parameterized tool field + collision findings. A
+         consumer pinned to the old layout must notice the bump. *)
+      check_int "schema_version is 4" 4 (int_of_float v)
   | _ -> Alcotest.fail "schema_version must be a number");
   (match field j "subcommand" with
   | J_str s -> check_string "subcommand" subcommand s
@@ -373,6 +376,11 @@ let json_envelopes () =
        ~extra:
          [ ("domains", "4"); ("par_sweeps", "2"); ("refused_sweeps", "0");
            ("groups", "0"); ("seeded", "false"); ("oracle_ok", "true") ]
+       ~exit_code:0 []);
+  (* the serve CLI shares the envelope under its own tool name *)
+  check_envelope ~tool:"ickpt_serve" ~subcommand:"run" ~exit_code:0
+    (Fi.envelope ~tool:"ickpt_serve" ~subcommand:"run"
+       ~extra:[ ("tenants", "8"); ("collisions", "0") ]
        ~exit_code:0 []);
   (* findings survive the escape round-trip *)
   let j = parse_json raw in
